@@ -1,0 +1,103 @@
+// Package main_test is the benchmark harness of DESIGN.md §2: one
+// testing.B benchmark per paper table and figure, each invoking the
+// corresponding internal/exp runner at Quick scale and reporting the
+// regenerated rows/series on first iteration. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// and a single artifact with e.g. -bench=BenchmarkTable5. Scale up by
+// setting RLSCHED_BENCH_SCALE=standard|paper (paper-scale runs take hours,
+// matching §V-A's 100×100×256 training shape).
+package main_test
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"rlsched/internal/exp"
+)
+
+func benchOptions() exp.Options {
+	switch os.Getenv("RLSCHED_BENCH_SCALE") {
+	case "paper":
+		return exp.Paper()
+	case "standard":
+		return exp.Standard()
+	}
+	return exp.Quick()
+}
+
+// runExperiment executes one experiment per b.N iteration, printing the
+// artifacts once so benchmark logs double as reproduction output.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		arts, err := exp.Run(id, o)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 && testing.Verbose() {
+			for _, a := range arts {
+				a.Print(os.Stdout)
+			}
+		} else if i == 0 {
+			for _, a := range arts {
+				a.Print(io.Discard)
+			}
+		}
+	}
+}
+
+// --- Tables ---
+
+func BenchmarkTable2TraceStats(b *testing.B)     { runExperiment(b, "table2") }
+func BenchmarkTable5Bsld(b *testing.B)           { runExperiment(b, "table5") }
+func BenchmarkTable6Util(b *testing.B)           { runExperiment(b, "table6") }
+func BenchmarkTable7Generalization(b *testing.B) { runExperiment(b, "table7") }
+func BenchmarkTable8Fairness(b *testing.B)       { runExperiment(b, "table8") }
+func BenchmarkTable10Slowdown(b *testing.B)      { runExperiment(b, "table10") }
+func BenchmarkTable11Wait(b *testing.B)          { runExperiment(b, "table11") }
+
+// Table IX is measured both through its runner...
+func BenchmarkTable9CostTable(b *testing.B) { runExperiment(b, "table9") }
+
+// ...and directly as micro-benchmarks of the two decision paths the paper
+// times on a 128-job queue.
+func BenchmarkTable9DecisionLatency(b *testing.B) {
+	benchDecision(b, true)
+}
+
+func BenchmarkTable9SJFSortLatency(b *testing.B) {
+	benchDecision(b, false)
+}
+
+func BenchmarkTable9TrainingEpoch(b *testing.B) {
+	o := benchOptions()
+	agent := newBenchAgent(b, o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.TrainEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFig3SJFVariance(b *testing.B)         { runExperiment(b, "fig3") }
+func BenchmarkFig7FilterDistribution(b *testing.B)  { runExperiment(b, "fig7") }
+func BenchmarkFig8NetworkComparison(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9TrajectoryFiltering(b *testing.B) { runExperiment(b, "fig9") }
+func BenchmarkFig10TrainingBsld(b *testing.B)       { runExperiment(b, "fig10") }
+func BenchmarkFig11TrainingUtil(b *testing.B)       { runExperiment(b, "fig11") }
+func BenchmarkFig12TrainingSlowdown(b *testing.B)   { runExperiment(b, "fig12") }
+func BenchmarkFig13TrainingWait(b *testing.B)       { runExperiment(b, "fig13") }
+
+// --- Ablations (design choices called out in DESIGN.md §5) ---
+
+func BenchmarkAblationBackfillDiscipline(b *testing.B) { runExperiment(b, "ablation-backfill") }
+func BenchmarkAblationKernelWidth(b *testing.B)        { runExperiment(b, "ablation-kernel") }
+func BenchmarkAblationObsWindow(b *testing.B)          { runExperiment(b, "ablation-obswindow") }
+func BenchmarkAblationPPOvsDQN(b *testing.B)           { runExperiment(b, "ablation-dqn") }

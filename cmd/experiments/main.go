@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run table5            # one experiment
+//	experiments -run all -scale quick  # everything, CI-sized
+//	experiments -list
+//
+// Scales: quick (seconds–minutes), standard (tens of minutes), paper
+// (the §V-A settings; hours of CPU).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rlsched/internal/exp"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id (e.g. table5, fig8) or 'all'")
+	scale := flag.String("scale", "quick", "quick | standard | paper")
+	seed := flag.Int64("seed", 42, "global seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	epochs := flag.Int("epochs", 0, "override training epochs")
+	traj := flag.Int("traj", 0, "override trajectories per epoch")
+	seqlen := flag.Int("seqlen", 0, "override jobs per trajectory")
+	maxObs := flag.Int("maxobs", 0, "override MAX_OBSV_SIZE")
+	evalN := flag.Int("eval-nseq", 0, "override evaluation sequences")
+	evalLen := flag.Int("eval-seqlen", 0, "override evaluation sequence length")
+	traceJobs := flag.Int("trace-jobs", 0, "override synthesized trace length")
+	iters := flag.Int("iters", 0, "override PPO policy/value iterations")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -run <id>|all required (see -list)")
+		os.Exit(2)
+	}
+
+	var o exp.Options
+	switch *scale {
+	case "quick":
+		o = exp.Quick()
+	case "standard":
+		o = exp.Standard()
+	case "paper":
+		o = exp.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	o.Seed = *seed
+	if *epochs > 0 {
+		o.Epochs = *epochs
+	}
+	if *traj > 0 {
+		o.TrajPerEpoch = *traj
+	}
+	if *seqlen > 0 {
+		o.SeqLen = *seqlen
+	}
+	if *maxObs > 0 {
+		o.MaxObserve = *maxObs
+	}
+	if *evalN > 0 {
+		o.EvalNSeq = *evalN
+	}
+	if *evalLen > 0 {
+		o.EvalSeqLen = *evalLen
+	}
+	if *traceJobs > 0 {
+		o.TraceJobs = *traceJobs
+	}
+	if *iters > 0 {
+		o.PiIters, o.VIters = *iters, *iters
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		arts, err := exp.Run(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s (scale=%s, %.1fs)\n\n", id, *scale, time.Since(start).Seconds())
+		for _, a := range arts {
+			a.Print(os.Stdout)
+		}
+	}
+}

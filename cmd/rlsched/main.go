@@ -1,0 +1,159 @@
+// Command rlsched trains and evaluates RLScheduler agents.
+//
+// Train on a preset trace toward a goal, save the model:
+//
+//	rlsched train -preset Lublin-1 -goal bsld -epochs 50 -o model.json
+//
+// Evaluate a saved model (optionally on a different trace — the Table VII
+// generalization setting):
+//
+//	rlsched eval -preset SDSC-SP2 -model model.json -backfill
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rlsched/internal/core"
+	"rlsched/internal/metrics"
+	"rlsched/internal/rl"
+	"rlsched/internal/sim"
+	"rlsched/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		train(os.Args[2:])
+	case "eval":
+		eval(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rlsched train|eval [flags] (see -h per subcommand)")
+	os.Exit(2)
+}
+
+func loadTrace(preset, traceFile string, jobs int, seed int64) *trace.Trace {
+	if traceFile != "" {
+		tr, err := trace.LoadSWFFile(traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		return tr
+	}
+	tr := trace.Preset(preset, jobs, seed)
+	if tr == nil {
+		fatal(fmt.Errorf("unknown preset %q (have %v)", preset, trace.PresetNames))
+	}
+	return tr
+}
+
+func train(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	preset := fs.String("preset", "Lublin-1", "preset trace name")
+	traceFile := fs.String("trace", "", "SWF trace file (overrides -preset)")
+	jobs := fs.Int("jobs", 10000, "trace length for presets")
+	goalName := fs.String("goal", "bsld", "optimization goal: bsld|slowdown|wait|resp|util|fair-bsld")
+	policyKind := fs.String("policy", "kernel", "policy network: kernel|mlp-v1|mlp-v2|mlp-v3|lenet")
+	epochs := fs.Int("epochs", 100, "training epochs")
+	traj := fs.Int("traj", 100, "trajectories per epoch")
+	seqlen := fs.Int("seqlen", 256, "jobs per trajectory")
+	maxObs := fs.Int("maxobs", sim.DefaultMaxObserve, "MAX_OBSV_SIZE")
+	backfill := fs.Bool("backfill", false, "train with EASY backfilling")
+	filter := fs.Bool("filter", false, "enable trajectory filtering (recommended for PIK-IPLEX)")
+	seed := fs.Int64("seed", 42, "seed")
+	piIters := fs.Int("pi-iters", 80, "PPO policy iterations per epoch")
+	vIters := fs.Int("v-iters", 80, "PPO value iterations per epoch")
+	out := fs.String("o", "model.json", "model output path")
+	fs.Parse(args)
+
+	goal, err := metrics.ParseKind(*goalName)
+	if err != nil {
+		fatal(err)
+	}
+	tr := loadTrace(*preset, *traceFile, *jobs, *seed)
+	agent, err := core.New(core.Config{
+		Trace:        tr,
+		Goal:         goal,
+		PolicyKind:   *policyKind,
+		MaxObserve:   *maxObs,
+		Backfill:     *backfill,
+		SeqLen:       *seqlen,
+		TrajPerEpoch: *traj,
+		Filter:       *filter,
+		Seed:         *seed,
+		PPO:          rl.PPOConfig{TrainPiIters: *piIters, TrainVIters: *vIters},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for e := 1; e <= *epochs; e++ {
+		s, err := agent.TrainEpoch()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("epoch %3d  %s=%.3f  reward=%.3f  kl=%.4f  pi-iters=%d  rejected=%d\n",
+			s.Epoch, goal, s.MeanMetric, s.MeanReward, s.Update.KL, s.Update.PiIters, s.Rejected)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := agent.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model saved to %s\n", *out)
+}
+
+func eval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	preset := fs.String("preset", "Lublin-1", "preset trace name")
+	traceFile := fs.String("trace", "", "SWF trace file (overrides -preset)")
+	jobs := fs.Int("jobs", 10000, "trace length for presets")
+	goalName := fs.String("goal", "bsld", "metric to report")
+	model := fs.String("model", "model.json", "saved model path")
+	nseq := fs.Int("nseq", 10, "evaluation sequences")
+	seqlen := fs.Int("seqlen", 1024, "jobs per sequence")
+	backfill := fs.Bool("backfill", false, "enable EASY backfilling")
+	maxObs := fs.Int("maxobs", sim.DefaultMaxObserve, "visible queue size")
+	seed := fs.Int64("seed", 42, "seed")
+	fs.Parse(args)
+
+	goal, err := metrics.ParseKind(*goalName)
+	if err != nil {
+		fatal(err)
+	}
+	tr := loadTrace(*preset, *traceFile, *jobs, *seed)
+	f, err := os.Open(*model)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := core.LoadScheduler(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	mean, values, err := core.Evaluate(tr, s, core.EvalConfig{
+		Goal: goal, NSeq: *nseq, SeqLen: *seqlen,
+		Backfill: *backfill, MaxObserve: *maxObs, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace=%s goal=%s backfill=%v mean=%.3f per-seq=%v\n",
+		tr.Name, goal, *backfill, mean, values)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rlsched: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command schedsim runs heuristic schedulers (and optionally a saved RL
+// model) through SchedGym on a trace and reports every metric.
+//
+// Usage:
+//
+//	schedsim -preset Lublin-1 -jobs 2000 -nseq 10 -seqlen 1024 -backfill
+//	schedsim -trace my.swf -model model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"rlsched/internal/core"
+	"rlsched/internal/metrics"
+	"rlsched/internal/sched"
+	"rlsched/internal/sim"
+	"rlsched/internal/trace"
+)
+
+func main() {
+	preset := flag.String("preset", "Lublin-1", "preset trace name")
+	traceFile := flag.String("trace", "", "SWF trace file (overrides -preset)")
+	jobs := flag.Int("jobs", 2000, "trace length for presets")
+	seed := flag.Int64("seed", 42, "seed for trace synthesis and sequence sampling")
+	nseq := flag.Int("nseq", 10, "number of evaluation sequences")
+	seqlen := flag.Int("seqlen", 1024, "jobs per evaluation sequence")
+	backfill := flag.Bool("backfill", false, "enable EASY backfilling")
+	maxObs := flag.Int("maxobs", sim.DefaultMaxObserve, "scheduler-visible queue size")
+	model := flag.String("model", "", "saved RL model JSON to include as a scheduler")
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	if *traceFile != "" {
+		tr, err = trace.LoadSWFFile(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		tr = trace.Preset(*preset, *jobs, *seed)
+		if tr == nil {
+			fatal(fmt.Errorf("unknown preset %q (have %v)", *preset, trace.PresetNames))
+		}
+	}
+
+	type entry struct {
+		name string
+		s    sim.Scheduler
+	}
+	var entries []entry
+	for _, h := range sched.Heuristics() {
+		entries = append(entries, entry{h.Name, h})
+	}
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := core.LoadScheduler(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		entries = append(entries, entry{"RL(" + *model + ")", s})
+	}
+
+	goals := []metrics.Kind{
+		metrics.BoundedSlowdown, metrics.Slowdown, metrics.WaitTime,
+		metrics.Turnaround, metrics.Utilization, metrics.FairMaxBoundedSlowdown,
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "scheduler")
+	for _, g := range goals {
+		fmt.Fprintf(w, "\t%s", g)
+	}
+	fmt.Fprintln(w)
+	for _, e := range entries {
+		fmt.Fprintf(w, "%s", e.name)
+		for _, g := range goals {
+			mean, _, err := core.Evaluate(tr, e.s, core.EvalConfig{
+				Goal: g, NSeq: *nseq, SeqLen: *seqlen,
+				Backfill: *backfill, MaxObserve: *maxObs, Seed: *seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "\t%.3f", mean)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "schedsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command tracegen synthesizes SWF job traces: the six Table II presets or
+// a custom Lublin–Feitelson model instance.
+//
+// Usage:
+//
+//	tracegen -preset PIK-IPLEX -jobs 10000 -seed 42 -o pik.swf
+//	tracegen -lublin -procs 256 -jobs 10000 -it 771 -rt 4862 -o lublin.swf
+//	tracegen -stats -preset Lublin-1 -jobs 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"rlsched/internal/trace"
+)
+
+func main() {
+	preset := flag.String("preset", "", "preset trace name: "+strings.Join(trace.PresetNames, ", "))
+	lublin := flag.Bool("lublin", false, "generate from the Lublin-Feitelson model instead of a preset")
+	procs := flag.Int("procs", 256, "cluster size (lublin mode)")
+	it := flag.Float64("it", 771, "target mean inter-arrival seconds (lublin mode)")
+	rt := flag.Float64("rt", 4862, "target mean runtime seconds (lublin mode)")
+	jobs := flag.Int("jobs", 10000, "number of jobs")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("o", "", "output SWF path (default stdout)")
+	stats := flag.Bool("stats", false, "print Table II statistics instead of the trace")
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *lublin:
+		cfg := trace.DefaultLublin(*procs, *jobs)
+		cfg.TargetMeanInterarrival = *it
+		cfg.TargetMeanRuntime = *rt
+		tr = trace.GenerateLublin(cfg, rand.New(rand.NewSource(*seed)))
+	case *preset != "":
+		tr = trace.Preset(*preset, *jobs, *seed)
+		if tr == nil {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown preset %q (have %v)\n", *preset, trace.PresetNames)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: need -preset or -lublin")
+		os.Exit(2)
+	}
+
+	if *stats {
+		s := tr.ComputeStats()
+		fmt.Printf("name=%s procs=%d jobs=%d it=%.0fs rt=%.0fs (requested %.0fs) nt=%.1f users=%d\n",
+			s.Name, s.Processors, s.Jobs, s.MeanInterarrival, s.MeanRunTime, s.MeanRequestedTime, s.MeanProcs, s.Users)
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteSWF(w); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Generalization example (the Table VII question): train RLScheduler on
+// one workload, save the model, and apply it to workloads it has never
+// seen — including a completely different machine scale. The paper's
+// stability claim is that the transferred model degrades gracefully,
+// staying within the band spanned by the best and worst heuristics.
+//
+//	go run ./examples/generalization
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"rlsched/internal/core"
+	"rlsched/internal/metrics"
+	"rlsched/internal/rl"
+	"rlsched/internal/sched"
+	"rlsched/internal/trace"
+)
+
+func main() {
+	// Train on the Lublin-1 workload.
+	source := trace.Preset("Lublin-1", 1500, 5)
+	agent, err := core.New(core.Config{
+		Trace:        source,
+		Goal:         metrics.BoundedSlowdown,
+		MaxObserve:   32,
+		SeqLen:       64,
+		TrajPerEpoch: 8,
+		Seed:         21,
+		PPO:          rl.PPOConfig{TrainPiIters: 15, TrainVIters: 15},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := agent.Train(8); err != nil {
+		log.Fatal(err)
+	}
+
+	// Persist and reload — the production workflow: the model file is
+	// what a cluster would ship.
+	var model bytes.Buffer
+	if err := agent.Save(&model); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained RL-Lublin-1 (%d bytes serialized)\n\n", model.Len())
+	rlSched, err := core.LoadScheduler(&model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Apply to unseen workloads with very different characteristics.
+	fmt.Printf("%-14s %12s %12s %12s  %s\n", "target trace", "RL-Lublin-1", "best heur", "worst heur", "verdict")
+	for _, name := range []string{"Lublin-1", "SDSC-SP2", "HPC2N", "ANL-Intrepid"} {
+		target := trace.Preset(name, 1500, 6)
+		eval := core.EvalConfig{
+			Goal: metrics.BoundedSlowdown, NSeq: 4, SeqLen: 256,
+			MaxObserve: 32, Seed: 77,
+		}
+		rlv, _, err := core.Evaluate(target, rlSched, eval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, worst := 0.0, 0.0
+		for i, h := range sched.Heuristics() {
+			v, _, err := core.Evaluate(target, h, eval)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 || v < best {
+				best = v
+			}
+			if i == 0 || v > worst {
+				worst = v
+			}
+		}
+		verdict := "within heuristic band"
+		if rlv < best {
+			verdict = "beats every heuristic"
+		} else if rlv > worst {
+			verdict = "WORSE than worst heuristic"
+		}
+		fmt.Printf("%-14s %12.2f %12.2f %12.2f  %s\n", name, rlv, best, worst, verdict)
+	}
+}

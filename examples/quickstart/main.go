@@ -1,0 +1,74 @@
+// Quickstart: train a small RLScheduler agent on a synthetic Lublin
+// workload toward minimum average bounded slowdown, then compare it with
+// the classic heuristics on held-out job sequences.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlsched/internal/core"
+	"rlsched/internal/metrics"
+	"rlsched/internal/rl"
+	"rlsched/internal/sched"
+	"rlsched/internal/trace"
+)
+
+func main() {
+	// 1. A workload: 2000 jobs from the Lublin-Feitelson model on a
+	// 256-processor cluster (Table II's Lublin-1 configuration).
+	tr := trace.Preset("Lublin-1", 2000, 1)
+	fmt.Printf("trace: %+v\n\n", tr.ComputeStats())
+
+	// 2. An agent: kernel policy network + PPO, rewarded with the
+	// negative average bounded slowdown. Scaled down so this demo runs
+	// in about a minute; see exp.Paper() for the paper's settings.
+	agent, err := core.New(core.Config{
+		Trace:        tr,
+		Goal:         metrics.BoundedSlowdown,
+		MaxObserve:   32,
+		SeqLen:       64,
+		TrajPerEpoch: 10,
+		Seed:         7,
+		PPO:          rl.PPOConfig{TrainPiIters: 20, TrainVIters: 20},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Train, watching the §V training curve.
+	for epoch := 1; epoch <= 10; epoch++ {
+		s, err := agent.TrainEpoch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %2d: avg bounded slowdown %.2f (kl=%.4f)\n",
+			s.Epoch, s.MeanMetric, s.Update.KL)
+	}
+
+	// 4. Evaluate against the Table III heuristics on the same held-out
+	// sequences (identical seed = identical workloads for everyone).
+	eval := core.EvalConfig{
+		Goal:       metrics.BoundedSlowdown,
+		NSeq:       5,
+		SeqLen:     256,
+		MaxObserve: 32,
+		Backfill:   true,
+		Seed:       99,
+	}
+	fmt.Println("\nscheduler      avg bounded slowdown (5 × 256-job sequences, backfilling)")
+	for _, h := range sched.Heuristics() {
+		v, _, err := core.Evaluate(tr, h, eval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10.2f\n", h.Name, v)
+	}
+	v, _, err := core.Evaluate(tr, agent.Scheduler(), eval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %10.2f\n", "RLScheduler", v)
+}

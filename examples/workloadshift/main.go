@@ -1,0 +1,89 @@
+// Workload-shift example — the paper's core motivation (§I): a fixed,
+// hand-tuned priority function cannot adapt when the job mix changes, but
+// an RL scheduler simply retrains. This demo trains on a long-job workload
+// (Lublin-1), shifts to a bursty SDSC-SP2-like mix, measures the stale
+// model, and retrains on the new mix with trajectory filtering (which the
+// high-variance new workload needs, §IV-C).
+//
+//	go run ./examples/workloadshift
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlsched/internal/core"
+	"rlsched/internal/metrics"
+	"rlsched/internal/rl"
+	"rlsched/internal/sim"
+	"rlsched/internal/trace"
+)
+
+// trainAgent trains a fresh agent; filter enables trajectory filtering
+// (§IV-C), which high-variance workloads need to train stably.
+func trainAgent(tr *trace.Trace, epochs int, filter bool) (*core.Agent, error) {
+	agent, err := core.New(core.Config{
+		Trace:        tr,
+		Goal:         metrics.BoundedSlowdown,
+		MaxObserve:   32,
+		SeqLen:       64,
+		TrajPerEpoch: 10,
+		Workers:      4, // parallel rollout collection
+		Filter:       filter,
+		FilterProbeN: 25,
+		FilterPhase1: epochs + 1, // stay in the filtered phase for this demo
+		Seed:         41,
+		PPO:          rl.PPOConfig{TrainPiIters: 20, TrainVIters: 20},
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, err = agent.Train(epochs)
+	return agent, err
+}
+
+func score(tr *trace.Trace, s sim.Scheduler) float64 {
+	v, _, err := core.Evaluate(tr, s, core.EvalConfig{
+		Goal: metrics.BoundedSlowdown, NSeq: 5, SeqLen: 256,
+		MaxObserve: 32, Backfill: true, Seed: 123,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func main() {
+	before := trace.Preset("Lublin-1", 1500, 40) // long jobs, modest widths
+	after := trace.Preset("SDSC-SP2", 1500, 40)  // smaller machine, bursty long jobs
+
+	fmt.Println("phase 1: normal operation on Lublin-1")
+	agent, err := trainAgent(before, 12, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	onOld := score(before, agent.Scheduler())
+	fmt.Printf("  RL on the trained workload:     bsld %.2f\n\n", onOld)
+
+	fmt.Println("phase 2: the workload shifts to an SDSC-SP2-like mix (no retraining)")
+	shifted := score(after, agent.Scheduler())
+	fmt.Printf("  stale model on the new workload: bsld %.2f\n\n", shifted)
+
+	fmt.Println("phase 3: retrain on the new workload, with trajectory filtering")
+	fmt.Println("         (the bursty SDSC-like mix is the §IV-C high-variance case)")
+	retrained, err := trainAgent(after, 18, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recovered := score(after, retrained.Scheduler())
+	fmt.Printf("  retrained model:                 bsld %.2f\n\n", recovered)
+
+	if recovered <= shifted {
+		fmt.Println("retraining matched or beat the stale model — no manual tuning involved.")
+	} else {
+		fmt.Println("note: at this tiny demo budget retraining did not beat the stale model;")
+		fmt.Println("raise epochs (the paper uses 100×100×256) for the full effect — and note")
+		fmt.Println("the Table VII stability result: even the stale model stays in the")
+		fmt.Println("heuristic band, so the shift is never catastrophic.")
+	}
+}

@@ -1,0 +1,126 @@
+package autograd
+
+import "fmt"
+
+// Conv2D computes a valid (no padding), stride-1 2-D convolution of
+// x[N,C,H,W] with filters w[F,C,KH,KW] and bias b[1,F], producing
+// out[N,F,H-KH+1,W-KW+1]. It exists to reproduce the LeNet baseline of
+// Table IV.
+func Conv2D(x, w, b *Tensor) *Tensor {
+	if len(x.Shape) != 4 || len(w.Shape) != 4 {
+		panic(fmt.Sprintf("autograd: Conv2D shapes %v, %v", x.Shape, w.Shape))
+	}
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, c2, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if c != c2 {
+		panic(fmt.Sprintf("autograd: Conv2D channels %d vs %d", c, c2))
+	}
+	if b.Shape[0] != 1 || b.Shape[1] != f {
+		panic(fmt.Sprintf("autograd: Conv2D bias shape %v for %d filters", b.Shape, f))
+	}
+	oh, ow := h-kh+1, wd-kw+1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("autograd: Conv2D kernel %dx%d too large for %dx%d", kh, kw, h, wd))
+	}
+	out := newFrom("conv2d", []int{n, f, oh, ow}, x, w, b)
+
+	xAt := func(ni, ci, hi, wi int) int { return ((ni*c+ci)*h+hi)*wd + wi }
+	wAt := func(fi, ci, hi, wi int) int { return ((fi*c+ci)*kh+hi)*kw + wi }
+	oAt := func(ni, fi, hi, wi int) int { return ((ni*f+fi)*oh+hi)*ow + wi }
+
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					s := b.Data[fi]
+					for ci := 0; ci < c; ci++ {
+						for ki := 0; ki < kh; ki++ {
+							for kj := 0; kj < kw; kj++ {
+								s += x.Data[xAt(ni, ci, oi+ki, oj+kj)] * w.Data[wAt(fi, ci, ki, kj)]
+							}
+						}
+					}
+					out.Data[oAt(ni, fi, oi, oj)] = s
+				}
+			}
+		}
+	}
+	out.backFn = func() {
+		x.ensureGrad()
+		w.ensureGrad()
+		b.ensureGrad()
+		for ni := 0; ni < n; ni++ {
+			for fi := 0; fi < f; fi++ {
+				for oi := 0; oi < oh; oi++ {
+					for oj := 0; oj < ow; oj++ {
+						g := out.Grad[oAt(ni, fi, oi, oj)]
+						if g == 0 {
+							continue
+						}
+						b.Grad[fi] += g
+						for ci := 0; ci < c; ci++ {
+							for ki := 0; ki < kh; ki++ {
+								for kj := 0; kj < kw; kj++ {
+									xi := xAt(ni, ci, oi+ki, oj+kj)
+									wi := wAt(fi, ci, ki, kj)
+									x.Grad[xi] += g * w.Data[wi]
+									w.Grad[wi] += g * x.Data[xi]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D max-pools x[N,C,H,W] with a kh×kw window and matching stride
+// (floor semantics for ragged edges).
+func MaxPool2D(x *Tensor, kh, kw int) *Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("autograd: MaxPool2D shape %v", x.Shape))
+	}
+	if kh <= 0 || kw <= 0 {
+		panic("autograd: MaxPool2D non-positive kernel")
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/kh, w/kw
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("autograd: MaxPool2D %dx%d window on %dx%d input", kh, kw, h, w))
+	}
+	out := newFrom("maxpool", []int{n, c, oh, ow}, x)
+	argmax := make([]int, len(out.Data))
+
+	xAt := func(ni, ci, hi, wi int) int { return ((ni*c+ci)*h+hi)*w + wi }
+	oAt := func(ni, ci, hi, wi int) int { return ((ni*c+ci)*oh+hi)*ow + wi }
+
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					best := xAt(ni, ci, oi*kh, oj*kw)
+					for ki := 0; ki < kh; ki++ {
+						for kj := 0; kj < kw; kj++ {
+							idx := xAt(ni, ci, oi*kh+ki, oj*kw+kj)
+							if x.Data[idx] > x.Data[best] {
+								best = idx
+							}
+						}
+					}
+					o := oAt(ni, ci, oi, oj)
+					out.Data[o] = x.Data[best]
+					argmax[o] = best
+				}
+			}
+		}
+	}
+	out.backFn = func() {
+		x.ensureGrad()
+		for o, g := range out.Grad {
+			x.Grad[argmax[o]] += g
+		}
+	}
+	return out
+}

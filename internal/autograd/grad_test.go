@@ -1,0 +1,155 @@
+package autograd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericGrad estimates d loss / d p[i] by central differences, where loss
+// rebuilds the computation from scratch each call.
+func numericGrad(p *Tensor, loss func() float64) []float64 {
+	const eps = 1e-6
+	g := make([]float64, len(p.Data))
+	for i := range p.Data {
+		orig := p.Data[i]
+		p.Data[i] = orig + eps
+		up := loss()
+		p.Data[i] = orig - eps
+		down := loss()
+		p.Data[i] = orig
+		g[i] = (up - down) / (2 * eps)
+	}
+	return g
+}
+
+// checkGrads compares analytic and numeric gradients for every parameter.
+func checkGrads(t *testing.T, name string, params []*Tensor, build func() *Tensor) {
+	t.Helper()
+	loss := build()
+	for _, p := range params {
+		p.ensureGrad()
+		p.ZeroGrad()
+	}
+	loss = build()
+	loss.Backward()
+	for pi, p := range params {
+		num := numericGrad(p, func() float64 { return build().Item() })
+		for i := range num {
+			got := p.Grad[i]
+			want := num[i]
+			tol := 1e-4 * (1 + math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s: param %d grad[%d] = %g, numeric %g", name, pi, i, got, want)
+				return
+			}
+		}
+	}
+}
+
+func randParam(rng *rand.Rand, shape ...int) *Tensor {
+	return RandParam(rng, 1, shape...)
+}
+
+func TestGradElementwiseOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randParam(rng, 3, 4)
+	b := randParam(rng, 3, 4)
+	checkGrads(t, "add", []*Tensor{a, b}, func() *Tensor { return Sum(Add(a, b)) })
+	checkGrads(t, "sub", []*Tensor{a, b}, func() *Tensor { return Mean(Sub(a, b)) })
+	checkGrads(t, "mul", []*Tensor{a, b}, func() *Tensor { return Sum(Mul(a, b)) })
+	checkGrads(t, "scale", []*Tensor{a}, func() *Tensor { return Sum(Scale(a, -2.5)) })
+	checkGrads(t, "addscalar", []*Tensor{a}, func() *Tensor { return Sum(AddScalar(a, 3)) })
+	checkGrads(t, "square", []*Tensor{a}, func() *Tensor { return Sum(Square(a)) })
+	checkGrads(t, "exp", []*Tensor{a}, func() *Tensor { return Sum(Exp(a)) })
+	checkGrads(t, "tanh", []*Tensor{a}, func() *Tensor { return Sum(Tanh(a)) })
+	checkGrads(t, "composite", []*Tensor{a, b}, func() *Tensor {
+		return Mean(Square(Sub(Tanh(Mul(a, b)), a)))
+	})
+}
+
+func TestGradMatMulAndBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randParam(rng, 4, 3)
+	w := randParam(rng, 3, 5)
+	b := randParam(rng, 1, 5)
+	checkGrads(t, "matmul", []*Tensor{x, w, b}, func() *Tensor {
+		return Sum(Tanh(AddBias(MatMul(x, w), b)))
+	})
+}
+
+func TestGradReLU(t *testing.T) {
+	// Use inputs away from the kink so numeric gradients are valid.
+	a := Param([]float64{-2, -1, 0.5, 1, 2, -0.5}, 2, 3)
+	checkGrads(t, "relu", []*Tensor{a}, func() *Tensor { return Sum(Square(ReLU(a))) })
+}
+
+func TestGradMinimumAndClamp(t *testing.T) {
+	a := Param([]float64{-1, 0.3, 2, -0.2}, 2, 2)
+	b := Param([]float64{0.5, -0.4, 1, 0.9}, 2, 2)
+	checkGrads(t, "minimum", []*Tensor{a, b}, func() *Tensor { return Sum(Minimum(a, b)) })
+	c := Param([]float64{-2, -0.5, 0.2, 3}, 2, 2)
+	checkGrads(t, "clamp", []*Tensor{c}, func() *Tensor { return Sum(Square(Clamp(c, -1, 1))) })
+}
+
+func TestGradLogSoftmaxAndGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randParam(rng, 4, 6)
+	idx := []int{1, 0, 5, 3}
+	checkGrads(t, "logsoftmax", []*Tensor{a}, func() *Tensor {
+		return Mean(GatherRows(LogSoftmax(a), idx))
+	})
+	checkGrads(t, "softmax-entropyish", []*Tensor{a}, func() *Tensor {
+		return Sum(Mul(Softmax(a), LogSoftmax(a)))
+	})
+}
+
+func TestGradReshapeConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randParam(rng, 2, 6)
+	b := randParam(rng, 3, 6)
+	checkGrads(t, "reshape", []*Tensor{a}, func() *Tensor {
+		return Sum(Square(Reshape(a, 3, 4)))
+	})
+	checkGrads(t, "concat", []*Tensor{a, b}, func() *Tensor {
+		return Mean(Square(Concat(a, b)))
+	})
+}
+
+func TestGradConv2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randParam(rng, 2, 2, 5, 4) // N=2,C=2,H=5,W=4
+	w := randParam(rng, 3, 2, 3, 2) // F=3,KH=3,KW=2
+	b := randParam(rng, 1, 3)
+	checkGrads(t, "conv2d", []*Tensor{x, w, b}, func() *Tensor {
+		return Sum(Square(Conv2D(x, w, b)))
+	})
+}
+
+func TestGradMaxPool2D(t *testing.T) {
+	// Distinct values so the argmax is stable under eps-perturbation.
+	data := make([]float64, 1*2*4*4)
+	for i := range data {
+		data[i] = float64(i%7)*1.3 + float64(i)*0.01
+	}
+	x := Param(data, 1, 2, 4, 4)
+	checkGrads(t, "maxpool", []*Tensor{x}, func() *Tensor {
+		return Sum(Square(MaxPool2D(x, 2, 2)))
+	})
+}
+
+func TestGradConvPoolPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randParam(rng, 1, 1, 6, 5)
+	w := randParam(rng, 2, 1, 3, 3)
+	b := randParam(rng, 1, 2)
+	w2 := randParam(rng, 6, 4) // pooled 2x(2x1) -> flatten 2*2*3=12? see below
+	// conv: 6x5 -> 4x3; pool 2x1 -> 2x3; flatten 2*2*3 = 12. Adjust w2.
+	w2 = randParam(rng, 12, 4)
+	checkGrads(t, "conv-pool-dense", []*Tensor{x, w, b, w2}, func() *Tensor {
+		c := ReLU(Conv2D(x, w, b))
+		p := MaxPool2D(c, 2, 1)
+		f := Reshape(p, 1, 12)
+		return Mean(Square(MatMul(f, w2)))
+	})
+}

@@ -1,0 +1,437 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b (identical shapes).
+func Add(a, b *Tensor) *Tensor {
+	assertSameShape("Add", a, b)
+	out := newFrom("add", a.Shape, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		b.ensureGrad()
+		for i, g := range out.Grad {
+			a.Grad[i] += g
+			b.Grad[i] += g
+		}
+	}
+	return out
+}
+
+// Sub returns a - b (identical shapes).
+func Sub(a, b *Tensor) *Tensor {
+	assertSameShape("Sub", a, b)
+	out := newFrom("sub", a.Shape, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		b.ensureGrad()
+		for i, g := range out.Grad {
+			a.Grad[i] += g
+			b.Grad[i] -= g
+		}
+	}
+	return out
+}
+
+// Mul returns the elementwise product a ⊙ b (identical shapes).
+func Mul(a, b *Tensor) *Tensor {
+	assertSameShape("Mul", a, b)
+	out := newFrom("mul", a.Shape, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		b.ensureGrad()
+		for i, g := range out.Grad {
+			a.Grad[i] += g * b.Data[i]
+			b.Grad[i] += g * a.Data[i]
+		}
+	}
+	return out
+}
+
+// Scale returns s · a.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := newFrom("scale", a.Shape, a)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			a.Grad[i] += g * s
+		}
+	}
+	return out
+}
+
+// AddScalar returns a + s.
+func AddScalar(a *Tensor, s float64) *Tensor {
+	out := newFrom("adds", a.Shape, a)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + s
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			a.Grad[i] += g
+		}
+	}
+	return out
+}
+
+// MatMul returns a[m,k] × b[k,n].
+func MatMul(a, b *Tensor) *Tensor {
+	a.want2D()
+	b.want2D()
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("autograd: MatMul inner dims %d vs %d", k, k2))
+	}
+	out := newFrom("matmul", []int{m, n}, a, b)
+	// i-k-j loop order for cache-friendly access of b and out rows.
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		b.ensureGrad()
+		// dA = dOut × Bᵀ ; dB = Aᵀ × dOut.
+		for i := 0; i < m; i++ {
+			grow := out.Grad[i*n : (i+1)*n]
+			agrow := a.Grad[i*k : (i+1)*k]
+			arow := a.Data[i*k : (i+1)*k]
+			for kk := 0; kk < k; kk++ {
+				brow := b.Data[kk*n : (kk+1)*n]
+				bgrow := b.Grad[kk*n : (kk+1)*n]
+				var s float64
+				av := arow[kk]
+				for j := 0; j < n; j++ {
+					g := grow[j]
+					s += g * brow[j]
+					bgrow[j] += av * g
+				}
+				agrow[kk] += s
+			}
+		}
+	}
+	return out
+}
+
+// AddBias adds a bias row b[1,n] to every row of a[m,n].
+func AddBias(a, b *Tensor) *Tensor {
+	a.want2D()
+	b.want2D()
+	m, n := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != 1 || b.Shape[1] != n {
+		panic(fmt.Sprintf("autograd: AddBias bias shape %v for input %v", b.Shape, a.Shape))
+	}
+	out := newFrom("addbias", a.Shape, a, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[i*n+j] = a.Data[i*n+j] + b.Data[j]
+		}
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		b.ensureGrad()
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				g := out.Grad[i*n+j]
+				a.Grad[i*n+j] += g
+				b.Grad[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// ReLU returns max(a, 0).
+func ReLU(a *Tensor) *Tensor {
+	out := newFrom("relu", a.Shape, a)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			if a.Data[i] > 0 {
+				a.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Tanh returns tanh(a).
+func Tanh(a *Tensor) *Tensor {
+	out := newFrom("tanh", a.Shape, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			y := out.Data[i]
+			a.Grad[i] += g * (1 - y*y)
+		}
+	}
+	return out
+}
+
+// Exp returns eᵃ.
+func Exp(a *Tensor) *Tensor {
+	out := newFrom("exp", a.Shape, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Exp(v)
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			a.Grad[i] += g * out.Data[i]
+		}
+	}
+	return out
+}
+
+// Square returns a².
+func Square(a *Tensor) *Tensor {
+	out := newFrom("square", a.Shape, a)
+	for i, v := range a.Data {
+		out.Data[i] = v * v
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			a.Grad[i] += 2 * a.Data[i] * g
+		}
+	}
+	return out
+}
+
+// Minimum returns the elementwise minimum of a and b; gradient flows to the
+// smaller operand (ties favour a), which is exactly the PPO clipped
+// surrogate's subgradient convention.
+func Minimum(a, b *Tensor) *Tensor {
+	assertSameShape("Minimum", a, b)
+	out := newFrom("min", a.Shape, a, b)
+	for i := range out.Data {
+		if a.Data[i] <= b.Data[i] {
+			out.Data[i] = a.Data[i]
+		} else {
+			out.Data[i] = b.Data[i]
+		}
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		b.ensureGrad()
+		for i, g := range out.Grad {
+			if a.Data[i] <= b.Data[i] {
+				a.Grad[i] += g
+			} else {
+				b.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Clamp limits a to [lo, hi] with zero gradient outside the interval.
+func Clamp(a *Tensor, lo, hi float64) *Tensor {
+	out := newFrom("clamp", a.Shape, a)
+	for i, v := range a.Data {
+		switch {
+		case v < lo:
+			out.Data[i] = lo
+		case v > hi:
+			out.Data[i] = hi
+		default:
+			out.Data[i] = v
+		}
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			if a.Data[i] >= lo && a.Data[i] <= hi {
+				a.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Sum reduces to a scalar.
+func Sum(a *Tensor) *Tensor {
+	out := newFrom("sum", []int{1}, a)
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	out.Data[0] = s
+	out.backFn = func() {
+		a.ensureGrad()
+		g := out.Grad[0]
+		for i := range a.Grad {
+			a.Grad[i] += g
+		}
+	}
+	return out
+}
+
+// Mean reduces to the scalar average.
+func Mean(a *Tensor) *Tensor {
+	out := newFrom("mean", []int{1}, a)
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	n := float64(len(a.Data))
+	out.Data[0] = s / n
+	out.backFn = func() {
+		a.ensureGrad()
+		g := out.Grad[0] / n
+		for i := range a.Grad {
+			a.Grad[i] += g
+		}
+	}
+	return out
+}
+
+// Reshape reinterprets a with a new shape of equal element count.
+func Reshape(a *Tensor, shape ...int) *Tensor {
+	if numel(shape) != len(a.Data) {
+		panic(fmt.Sprintf("autograd: Reshape %v -> %v", a.Shape, shape))
+	}
+	out := newFrom("reshape", shape, a)
+	copy(out.Data, a.Data)
+	out.backFn = func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			a.Grad[i] += g
+		}
+	}
+	return out
+}
+
+// LogSoftmax applies a numerically stable row-wise log-softmax to a[m,n].
+func LogSoftmax(a *Tensor) *Tensor {
+	a.want2D()
+	m, n := a.Shape[0], a.Shape[1]
+	out := newFrom("logsoftmax", a.Shape, a)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*n : (i+1)*n]
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var lse float64
+		for _, v := range row {
+			lse += math.Exp(v - max)
+		}
+		lse = math.Log(lse) + max
+		for j, v := range row {
+			orow[j] = v - lse
+		}
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		// d a_j = g_j - softmax_j * sum(g).
+		for i := 0; i < m; i++ {
+			grow := out.Grad[i*n : (i+1)*n]
+			orow := out.Data[i*n : (i+1)*n]
+			var gsum float64
+			for _, g := range grow {
+				gsum += g
+			}
+			for j := 0; j < n; j++ {
+				a.Grad[i*n+j] += grow[j] - math.Exp(orow[j])*gsum
+			}
+		}
+	}
+	return out
+}
+
+// Softmax applies a row-wise softmax (exp of LogSoftmax, sharing its
+// stable implementation and gradient).
+func Softmax(a *Tensor) *Tensor { return Exp(LogSoftmax(a)) }
+
+// GatherRows picks one column per row: out[i] = a[i, idx[i]], shape [m,1].
+func GatherRows(a *Tensor, idx []int) *Tensor {
+	a.want2D()
+	m, n := a.Shape[0], a.Shape[1]
+	if len(idx) != m {
+		panic(fmt.Sprintf("autograd: GatherRows %d indices for %d rows", len(idx), m))
+	}
+	out := newFrom("gather", []int{m, 1}, a)
+	for i, j := range idx {
+		if j < 0 || j >= n {
+			panic(fmt.Sprintf("autograd: GatherRows index %d out of %d cols", j, n))
+		}
+		out.Data[i] = a.Data[i*n+j]
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		for i, j := range idx {
+			a.Grad[i*n+j] += out.Grad[i]
+		}
+	}
+	return out
+}
+
+// Concat stacks 2-D tensors with equal column counts along rows.
+func Concat(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("autograd: Concat of nothing")
+	}
+	cols := ts[0].Cols()
+	rows := 0
+	for _, t := range ts {
+		if t.Cols() != cols {
+			panic("autograd: Concat column mismatch")
+		}
+		rows += t.Rows()
+	}
+	out := newFrom("concat", []int{rows, cols}, ts...)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += len(t.Data)
+	}
+	out.backFn = func() {
+		off := 0
+		for _, t := range ts {
+			t.ensureGrad()
+			for i := range t.Data {
+				t.Grad[i] += out.Grad[off+i]
+			}
+			off += len(t.Data)
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package autograd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreationAndAccessors(t *testing.T) {
+	z := New(2, 3)
+	if z.Size() != 6 || z.Rows() != 2 || z.Cols() != 3 {
+		t.Fatalf("New(2,3): size=%d rows=%d cols=%d", z.Size(), z.Rows(), z.Cols())
+	}
+	f := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if f.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %g, want 3", f.At(1, 0))
+	}
+	p := Param([]float64{5}, 1)
+	if !p.RequiresGrad || p.Grad == nil {
+		t.Error("Param must track gradients")
+	}
+	if p.Item() != 5 {
+		t.Errorf("Item = %g, want 5", p.Item())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad shape", func() { New(0, 2) })
+	mustPanic("FromSlice mismatch", func() { FromSlice([]float64{1}, 2, 2) })
+	mustPanic("Item non-scalar", func() { New(2, 2).Item() })
+	mustPanic("At on 1-D", func() { New(4).At(0, 0) })
+	mustPanic("Add mismatch", func() { Add(New(2, 2), New(2, 3)) })
+	mustPanic("MatMul mismatch", func() { MatMul(New(2, 3), New(2, 3)) })
+	mustPanic("Backward non-scalar", func() { New(2, 2).Backward() })
+	mustPanic("Gather bad idx", func() { GatherRows(New(2, 2), []int{0, 5}) })
+	mustPanic("Reshape mismatch", func() { Reshape(New(2, 2), 3, 3) })
+	mustPanic("Conv2D too big", func() {
+		Conv2D(New(1, 1, 2, 2), New(1, 1, 5, 5), New(1, 1))
+	})
+}
+
+func TestBackwardAccumulatesAcrossUses(t *testing.T) {
+	// y = a + a: dy/da = 2 per element.
+	a := Param([]float64{1, 2}, 1, 2)
+	Sum(Add(a, a)).Backward()
+	if a.Grad[0] != 2 || a.Grad[1] != 2 {
+		t.Errorf("grad = %v, want [2 2] (shared subexpression)", a.Grad)
+	}
+	// A second Backward without ZeroGrad accumulates further.
+	Sum(Add(a, a)).Backward()
+	if a.Grad[0] != 4 {
+		t.Errorf("grad after 2nd backward = %g, want 4", a.Grad[0])
+	}
+	a.ZeroGrad()
+	if a.Grad[0] != 0 {
+		t.Error("ZeroGrad must clear")
+	}
+}
+
+func TestDetachCutsGraph(t *testing.T) {
+	a := Param([]float64{3}, 1)
+	b := Scale(a, 2)
+	d := b.Detach()
+	Sum(Mul(d, d)).Backward()
+	if a.Grad[0] != 0 {
+		t.Errorf("grad through Detach = %g, want 0", a.Grad[0])
+	}
+	if d.Data[0] != 6 {
+		t.Errorf("Detach data = %g, want 6", d.Data[0])
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	c := a.Clone()
+	c.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Error("Clone must not share data")
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(5), 2+r.Intn(8)
+		a := New(m, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64() * 10
+		}
+		s := Softmax(a)
+		for i := 0; i < m; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				v := s.At(i, j)
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSoftmaxStability(t *testing.T) {
+	// Huge logits must not overflow.
+	a := FromSlice([]float64{1e6, 1e6 - 1, -1e6}, 1, 3)
+	ls := LogSoftmax(a)
+	for _, v := range ls.Data {
+		if math.IsNaN(v) || math.IsInf(v, 1) {
+			t.Fatalf("unstable logsoftmax: %v", ls.Data)
+		}
+	}
+	// The max logit dominates: its log-prob ≈ log(1/(1+e^-1)).
+	want := -math.Log(1 + math.Exp(-1))
+	if math.Abs(ls.Data[0]-want) > 1e-9 {
+		t.Errorf("ls[0] = %g, want %g", ls.Data[0], want)
+	}
+}
+
+func TestMatMulValues(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	c := MatMul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 1x1 kernel of weight 1 with zero bias reproduces the input.
+	x := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	w := FromSlice([]float64{1}, 1, 1, 1, 1)
+	b := FromSlice([]float64{0}, 1, 1)
+	out := Conv2D(x, w, b)
+	for i := range x.Data {
+		if out.Data[i] != x.Data[i] {
+			t.Fatalf("identity conv = %v", out.Data)
+		}
+	}
+}
+
+func TestMaxPoolValues(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 5, 2, 0,
+		3, 4, 1, 9,
+	}, 1, 1, 2, 4)
+	out := MaxPool2D(x, 2, 2)
+	if out.Data[0] != 5 || out.Data[1] != 9 {
+		t.Fatalf("maxpool = %v, want [5 9]", out.Data)
+	}
+}
+
+func TestRandParamRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	p := RandParam(rng, 0.5, 10, 10)
+	for _, v := range p.Data {
+		if v < -0.5 || v > 0.5 {
+			t.Fatalf("RandParam value %g out of [-0.5, 0.5]", v)
+		}
+	}
+}

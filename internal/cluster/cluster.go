@@ -1,0 +1,160 @@
+// Package cluster models the homogeneous HPC compute resource the paper's
+// SchedGym simulates: a fixed pool of identical processors that are
+// allocated to jobs node-by-node and released on completion, with busy-time
+// accounting to derive the utilization metric.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cluster is a homogeneous machine with a fixed number of processors.
+// It is not safe for concurrent use; the event-driven simulator drives it
+// from a single goroutine.
+type Cluster struct {
+	total int
+	free  []int         // free node IDs, kept sorted for determinism
+	used  map[int][]int // job ID -> allocated node IDs
+	busy  int           // processors currently allocated
+
+	// busyTime integrates (allocated processors × seconds) as the
+	// simulation clock advances, for utilization accounting.
+	busyTime float64
+	lastTime float64
+}
+
+// New returns an idle cluster with n processors.
+func New(n int) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive size %d", n))
+	}
+	free := make([]int, n)
+	for i := range free {
+		free[i] = i
+	}
+	return &Cluster{total: n, free: free, used: make(map[int][]int)}
+}
+
+// Total returns the cluster size in processors.
+func (c *Cluster) Total() int { return c.total }
+
+// Free returns the number of idle processors.
+func (c *Cluster) Free() int { return len(c.free) }
+
+// Busy returns the number of allocated processors.
+func (c *Cluster) Busy() int { return c.busy }
+
+// CanAllocate reports whether n processors are available right now.
+func (c *Cluster) CanAllocate(n int) bool { return n > 0 && n <= len(c.free) }
+
+// Allocate assigns n processors to jobID and returns the node IDs. It fails
+// if the job already holds an allocation or resources are insufficient.
+func (c *Cluster) Allocate(jobID, n int) ([]int, error) {
+	if _, ok := c.used[jobID]; ok {
+		return nil, fmt.Errorf("cluster: job %d already allocated", jobID)
+	}
+	if !c.CanAllocate(n) {
+		return nil, fmt.Errorf("cluster: cannot allocate %d procs (%d free)", n, len(c.free))
+	}
+	nodes := make([]int, n)
+	copy(nodes, c.free[:n])
+	c.free = c.free[n:]
+	c.used[jobID] = nodes
+	c.busy += n
+	return nodes, nil
+}
+
+// Release returns the processors held by jobID to the free pool.
+func (c *Cluster) Release(jobID int) error {
+	nodes, ok := c.used[jobID]
+	if !ok {
+		return fmt.Errorf("cluster: job %d holds no allocation", jobID)
+	}
+	delete(c.used, jobID)
+	c.free = append(c.free, nodes...)
+	sort.Ints(c.free)
+	c.busy -= len(nodes)
+	return nil
+}
+
+// AdvanceTo moves the accounting clock to time t, accumulating busy
+// processor-seconds. Calls must be monotone in t.
+func (c *Cluster) AdvanceTo(t float64) {
+	if t < c.lastTime {
+		return
+	}
+	c.busyTime += float64(c.busy) * (t - c.lastTime)
+	c.lastTime = t
+}
+
+// BusyTime returns the accumulated busy processor-seconds.
+func (c *Cluster) BusyTime() float64 { return c.busyTime }
+
+// Utilization returns busyTime / (total × horizon) over [start, end].
+func (c *Cluster) Utilization(start, end float64) float64 {
+	span := end - start
+	if span <= 0 {
+		return 0
+	}
+	u := c.busyTime / (float64(c.total) * span)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Running returns the number of jobs holding allocations.
+func (c *Cluster) Running() int { return len(c.used) }
+
+// Reset returns the cluster to idle and zeroes the accounting clock.
+func (c *Cluster) Reset() {
+	free := make([]int, c.total)
+	for i := range free {
+		free[i] = i
+	}
+	c.free = free
+	c.used = make(map[int][]int)
+	c.busy = 0
+	c.busyTime = 0
+	c.lastTime = 0
+}
+
+// CheckInvariants verifies conservation of processors; the simulator's
+// property tests call it after every step.
+func (c *Cluster) CheckInvariants() error {
+	allocated := 0
+	seen := map[int]bool{}
+	for id, nodes := range c.used {
+		if len(nodes) == 0 {
+			return fmt.Errorf("cluster: job %d holds empty allocation", id)
+		}
+		allocated += len(nodes)
+		for _, n := range nodes {
+			if n < 0 || n >= c.total {
+				return fmt.Errorf("cluster: node %d out of range", n)
+			}
+			if seen[n] {
+				return fmt.Errorf("cluster: node %d double-allocated", n)
+			}
+			seen[n] = true
+		}
+	}
+	for _, n := range c.free {
+		if seen[n] {
+			return fmt.Errorf("cluster: node %d both free and allocated", n)
+		}
+		seen[n] = true
+	}
+	if allocated != c.busy {
+		return fmt.Errorf("cluster: busy=%d but %d allocated", c.busy, allocated)
+	}
+	if allocated+len(c.free) != c.total {
+		return fmt.Errorf("cluster: %d allocated + %d free != %d total",
+			allocated, len(c.free), c.total)
+	}
+	return nil
+}

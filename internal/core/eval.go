@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+
+	"rlsched/internal/metrics"
+	"rlsched/internal/sim"
+	"rlsched/internal/trace"
+)
+
+// EvalConfig describes one evaluation campaign: the paper's protocol
+// schedules NSeq (10) randomly sampled SeqLen-job (1024) sequences and
+// averages the goal metric. The same seed yields the same sequences, so
+// different schedulers compare on identical workloads ("across different
+// scheduling algorithms, we used the same 10 random job sequences").
+type EvalConfig struct {
+	Goal     metrics.Kind
+	NSeq     int
+	SeqLen   int
+	Backfill bool
+	// MaxObserve bounds the visible queue (default 128).
+	MaxObserve int
+	Seed       int64
+}
+
+func (c EvalConfig) withDefaults() EvalConfig {
+	if c.NSeq == 0 {
+		c.NSeq = 10
+	}
+	if c.SeqLen == 0 {
+		c.SeqLen = 1024
+	}
+	if c.MaxObserve == 0 {
+		c.MaxObserve = sim.DefaultMaxObserve
+	}
+	return c
+}
+
+// Evaluate runs the scheduler over the campaign and returns the mean goal
+// metric and the per-sequence values.
+func Evaluate(tr *trace.Trace, s sim.Scheduler, cfg EvalConfig) (float64, []float64, error) {
+	cfg = cfg.withDefaults()
+	return EvaluateSim(tr, s, cfg, sim.Config{
+		Processors: tr.Processors,
+		Backfill:   cfg.Backfill,
+		MaxObserve: cfg.MaxObserve,
+	})
+}
+
+// EvaluateSim is Evaluate with an explicit simulator configuration, for
+// campaigns that need non-default simulator behaviour (e.g. conservative
+// backfilling ablations).
+func EvaluateSim(tr *trace.Trace, s sim.Scheduler, cfg EvalConfig, simCfg sim.Config) (float64, []float64, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	simulator := sim.New(simCfg)
+	var values []float64
+	sum := 0.0
+	for i := 0; i < cfg.NSeq; i++ {
+		seqLen := cfg.SeqLen
+		if seqLen > tr.Len() {
+			seqLen = tr.Len()
+		}
+		win := tr.SampleWindow(rng, seqLen)
+		if err := simulator.Load(win); err != nil {
+			return 0, nil, err
+		}
+		res, err := simulator.Run(s)
+		if err != nil {
+			return 0, nil, err
+		}
+		v := metrics.Value(cfg.Goal, res)
+		values = append(values, v)
+		sum += v
+	}
+	return sum / float64(len(values)), values, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rlsched/internal/metrics"
+	"rlsched/internal/trace"
+)
+
+// TestWorkersBitIdentical verifies the parallel-rollout design promise:
+// the trajectory stream is derived from per-trajectory RNGs, so training
+// with 1 worker and with 4 workers produces identical curves — parallelism
+// changes wall-clock only.
+func TestWorkersBitIdentical(t *testing.T) {
+	tr := trace.Preset("Lublin-1", 300, 17)
+	curveFor := func(workers int) []EpochStats {
+		cfg := tinyConfig(tr, metrics.BoundedSlowdown)
+		cfg.Workers = workers
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curve, err := a.Train(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return curve
+	}
+	serial := curveFor(1)
+	parallel := curveFor(4)
+	for i := range serial {
+		if serial[i].MeanMetric != parallel[i].MeanMetric {
+			t.Fatalf("epoch %d metric: serial %.10f != parallel %.10f",
+				i+1, serial[i].MeanMetric, parallel[i].MeanMetric)
+		}
+		if serial[i].MeanReward != parallel[i].MeanReward {
+			t.Fatalf("epoch %d reward differs across worker counts", i+1)
+		}
+		if serial[i].Update.KL != parallel[i].Update.KL {
+			t.Fatalf("epoch %d PPO update diverged across worker counts", i+1)
+		}
+	}
+}
+
+func TestWorkersMoreThanTrajectories(t *testing.T) {
+	tr := trace.Preset("Lublin-2", 300, 18)
+	cfg := tinyConfig(tr, metrics.BoundedSlowdown)
+	cfg.TrajPerEpoch = 2
+	cfg.Workers = 16 // clamped internally
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.TrainEpoch(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedRewardTraining(t *testing.T) {
+	tr := trace.Preset("Lublin-2", 300, 19)
+	cfg := tinyConfig(tr, metrics.BoundedSlowdown)
+	// Combined goal: minimize bsld AND maximize utilization (§VII).
+	cfg.RewardWeights = map[metrics.Kind]float64{
+		metrics.BoundedSlowdown: 1,
+		metrics.Utilization:     100,
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reported metric is still the plain goal...
+	if s.MeanMetric < 1 {
+		t.Errorf("MeanMetric = %g, want bsld >= 1", s.MeanMetric)
+	}
+	// ...but the reward is the combination: -bsld + 100·util, which for
+	// a lightly loaded window can even be positive — it just must not
+	// equal the plain -bsld.
+	if math.Abs(s.MeanReward+s.MeanMetric) < 1e-9 {
+		t.Error("reward looks like plain -bsld; weighted reward not applied")
+	}
+}
+
+func TestWeightedRewardFunction(t *testing.T) {
+	fn := metrics.WeightedReward(map[metrics.Kind]float64{
+		metrics.Utilization: 2,
+		metrics.WaitTime:    0.5,
+	})
+	r := metrics.Result{Utilization: 0.8}
+	// No started jobs: wait contributes 0; reward = 2*0.8.
+	if got := fn(r); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("weighted reward = %g, want 1.6", got)
+	}
+}
+
+// TestParallelFilterStreamUnchanged: the trajectory filter consumes the
+// agent RNG serially, so enabling workers must not change which windows
+// are accepted.
+func TestParallelFilterStreamUnchanged(t *testing.T) {
+	tr := trace.Preset("PIK-IPLEX", 600, 20)
+	run := func(workers int) int {
+		cfg := tinyConfig(tr, metrics.BoundedSlowdown)
+		cfg.Filter = true
+		cfg.FilterProbeN = 10
+		cfg.FilterPhase1 = 5
+		cfg.Workers = workers
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := a.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Rejected
+	}
+	if r1, r4 := run(1), run(4); r1 != r4 {
+		t.Errorf("filter rejections differ across worker counts: %d vs %d", r1, r4)
+	}
+}
+
+func TestTrainUnderUserQuota(t *testing.T) {
+	tr := trace.Preset("HPC2N", 300, 23)
+	cfg := tinyConfig(tr, metrics.FairMaxBoundedSlowdown)
+	cfg.UserQuota = tr.Processors / 4
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MeanMetric < 1 {
+		t.Errorf("fair-bsld = %g under quota, want >= 1", s.MeanMetric)
+	}
+}
+
+func TestTrainEpochRaceFree(t *testing.T) {
+	// Exercised under -race in CI: 8 workers hammering shared weights
+	// read-only while rolling out.
+	tr := trace.Preset("Lublin-1", 300, 21)
+	cfg := tinyConfig(tr, metrics.BoundedSlowdown)
+	cfg.TrajPerEpoch = 8
+	cfg.Workers = 8
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train(2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// ultraQuick shrinks Quick further so the full registry can run in tests.
+func ultraQuick() Options {
+	o := Quick()
+	o.TraceJobs = 400
+	o.Epochs = 2
+	o.TrajPerEpoch = 2
+	o.SeqLen = 16
+	o.MaxObserve = 12
+	o.EvalNSeq = 2
+	o.EvalSeqLen = 48
+	o.PiIters = 2
+	o.VIters = 2
+	o.FilterProbeN = 10
+	return o
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"table2", "table5", "table6", "table7", "table8", "table9", "table10", "table11",
+		"ablation-backfill", "ablation-kernel", "ablation-obswindow", "ablation-dqn",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experiment %q missing from registry", w)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registry has %d experiments, want %d (%v)", len(ids), len(want), ids)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", Quick()); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	arts, err := Run("table2", ultraQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := arts[0].(*Table)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Table II rows = %d, want 6 traces", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	if !strings.Contains(buf.String(), "PIK-IPLEX") {
+		t.Error("printed table must mention PIK-IPLEX")
+	}
+}
+
+func TestFig3SpikesExist(t *testing.T) {
+	o := ultraQuick()
+	o.TraceJobs = 4000
+	arts, err := Run("fig3", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := arts[0].(*Series)
+	if len(series.X) < 5 {
+		t.Fatalf("fig3 produced only %d windows", len(series.X))
+	}
+	vals := series.Y[0]
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max < 3*min {
+		t.Errorf("fig3 variance too low: min=%.2f max=%.2f (paper shows spikes)", min, max)
+	}
+}
+
+func TestFig7SkewAndRange(t *testing.T) {
+	o := ultraQuick()
+	o.TraceJobs = 1200
+	arts, err := Run("fig7", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 2 {
+		t.Fatalf("fig7 artifacts = %d, want series+table", len(arts))
+	}
+	tab := arts[1].(*Table)
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	if !strings.Contains(buf.String(), "filter range R") {
+		t.Error("fig7 must report the filter range")
+	}
+}
+
+func TestFig8RunsAllNetworks(t *testing.T) {
+	o := ultraQuick()
+	o.MaxObserve = 12 // keeps LeNet viable
+	arts, err := Run("fig8", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 2 {
+		t.Fatalf("fig8 artifacts = %d, want 2 traces", len(arts))
+	}
+	s := arts[0].(*Series)
+	if len(s.Names) != 5 {
+		t.Fatalf("fig8 lines = %v, want all five networks", s.Names)
+	}
+	for i, ys := range s.Y {
+		if len(ys) != o.Epochs {
+			t.Errorf("network %s curve has %d points, want %d", s.Names[i], len(ys), o.Epochs)
+		}
+	}
+}
+
+func TestFig9BothVariants(t *testing.T) {
+	arts, err := Run("fig9", ultraQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := arts[0].(*Series)
+	if len(s.Names) != 2 || s.Names[0] != "no-filter" || s.Names[1] != "with-filter" {
+		t.Fatalf("fig9 lines = %v", s.Names)
+	}
+}
+
+func TestTrainingCurveFigures(t *testing.T) {
+	for _, id := range []string{"fig10", "fig11", "fig12", "fig13"} {
+		arts, err := Run(id, ultraQuick())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		s := arts[0].(*Series)
+		if len(s.Names) != 4 {
+			t.Errorf("%s lines = %v, want 4 workloads", id, s.Names)
+		}
+		if len(s.X) != ultraQuick().Epochs {
+			t.Errorf("%s epochs = %d", id, len(s.X))
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	arts, err := Run("table5", ultraQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 2 {
+		t.Fatalf("table5 artifacts = %d, want ±backfill", len(arts))
+	}
+	for _, a := range arts {
+		tab := a.(*Table)
+		if len(tab.Rows) != 4 {
+			t.Errorf("table5 rows = %d, want 4 traces", len(tab.Rows))
+		}
+		if len(tab.Header) != 7 {
+			t.Errorf("table5 cols = %d, want trace+5 heuristics+RL", len(tab.Header))
+		}
+	}
+}
+
+func TestTable7IncludesANL(t *testing.T) {
+	arts, err := Run("table7", ultraQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := arts[0].(*Table)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("table7 rows = %d, want 5 (incl. ANL-Intrepid)", len(tab.Rows))
+	}
+	found := false
+	for _, r := range tab.Rows {
+		if r[0] == "ANL-Intrepid" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("table7 must evaluate on the unseen ANL-Intrepid trace")
+	}
+}
+
+func TestTable8FairnessTraces(t *testing.T) {
+	arts, err := Run("table8", ultraQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := arts[0].(*Table)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("table8 rows = %d, want SDSC-SP2 + HPC2N", len(tab.Rows))
+	}
+}
+
+func TestTable9Timings(t *testing.T) {
+	arts, err := Run("table9", ultraQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := arts[0].(*Table)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("table9 rows = %d, want 3 operations", len(tab.Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	o := ultraQuick()
+	for _, id := range []string{"ablation-backfill", "ablation-kernel", "ablation-obswindow", "ablation-dqn"} {
+		arts, err := Run(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(arts) == 0 {
+			t.Fatalf("%s produced no artifacts", id)
+		}
+		switch a := arts[0].(type) {
+		case *Table:
+			if len(a.Rows) == 0 {
+				t.Errorf("%s produced an empty table", id)
+			}
+		case *Series:
+			if len(a.X) == 0 {
+				t.Errorf("%s produced an empty series", id)
+			}
+		default:
+			t.Errorf("%s produced an unknown artifact type", id)
+		}
+	}
+}
+
+func TestSeriesPrint(t *testing.T) {
+	s := &Series{Title: "t", XLabel: "x", Names: []string{"a", "b"},
+		X: []float64{1, 2}, Y: [][]float64{{0.1, 0.2}, {0.3}}}
+	var buf bytes.Buffer
+	s.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== t ==") || !strings.Contains(out, "0.3") {
+		t.Errorf("series print missing content:\n%s", out)
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	q, s, p := Quick(), Standard(), Paper()
+	if !(q.Epochs < s.Epochs && s.Epochs <= p.Epochs) {
+		t.Error("presets must scale up: quick < standard <= paper")
+	}
+	if p.SeqLen != 256 || p.TrajPerEpoch != 100 || p.MaxObserve != 128 || p.PiIters != 80 {
+		t.Errorf("Paper() must match §V-A: %+v", p)
+	}
+}

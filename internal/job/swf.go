@@ -1,0 +1,141 @@
+package job
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SWF (Standard Workload Format) support. An SWF record has 18
+// whitespace-separated fields; header lines start with ';'. Field order per
+// the Parallel Workloads Archive:
+//
+//	 1 job number             2 submit time          3 wait time
+//	 4 run time               5 used processors      6 avg cpu time
+//	 7 used memory            8 requested processors 9 requested time
+//	10 requested memory      11 status              12 user id
+//	13 group id              14 executable          15 queue
+//	16 partition             17 preceding job       18 think time
+//
+// Header comments of the form "; MaxProcs: N" carry cluster metadata.
+
+// SWFHeader carries the archive metadata we use.
+type SWFHeader struct {
+	// MaxProcs is the number of processors in the traced cluster.
+	MaxProcs int
+	// Comments preserves all header lines verbatim (without the ';').
+	Comments []string
+}
+
+// ParseSWF reads an SWF stream and returns the header and jobs. Records that
+// are structurally broken return an error; jobs with unusable attributes
+// (e.g. zero processors) are skipped, matching how the paper's SchedGym
+// consumes archive traces.
+func ParseSWF(r io.Reader) (SWFHeader, []*Job, error) {
+	var hdr SWFHeader
+	var jobs []*Job
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			c := strings.TrimSpace(strings.TrimPrefix(line, ";"))
+			hdr.Comments = append(hdr.Comments, c)
+			if v, ok := headerInt(c, "MaxProcs:"); ok {
+				hdr.MaxProcs = v
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 18 {
+			return hdr, nil, fmt.Errorf("swf: line %d: %d fields, want 18", lineNo, len(fields))
+		}
+		f := make([]float64, 18)
+		for i := 0; i < 18; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return hdr, nil, fmt.Errorf("swf: line %d field %d: %v", lineNo, i+1, err)
+			}
+			f[i] = v
+		}
+		j := &Job{
+			ID:              int(f[0]),
+			SubmitTime:      f[1],
+			WaitTime:        f[2],
+			RunTime:         f[3],
+			RequestedProcs:  int(f[7]),
+			RequestedTime:   f[8],
+			RequestedMemory: f[9],
+			Status:          int(f[10]),
+			UserID:          int(f[11]),
+			GroupID:         int(f[12]),
+			Executable:      int(f[13]),
+			QueueID:         int(f[14]),
+			PartitionID:     int(f[15]),
+			StartTime:       -1,
+			EndTime:         -1,
+		}
+		// Fall back to used processors / run time when requests are absent.
+		if j.RequestedProcs <= 0 {
+			j.RequestedProcs = int(f[4])
+		}
+		if j.RequestedTime <= 0 {
+			j.RequestedTime = j.RunTime
+		}
+		if j.Validate() != nil {
+			continue
+		}
+		jobs = append(jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return hdr, nil, fmt.Errorf("swf: read: %w", err)
+	}
+	return hdr, jobs, nil
+}
+
+func headerInt(comment, key string) (int, bool) {
+	if !strings.HasPrefix(comment, key) {
+		return 0, false
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(comment, key)))
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// WriteSWF writes the header and jobs in Standard Workload Format. Unknown
+// fields are written as -1, matching archive conventions.
+func WriteSWF(w io.Writer, hdr SWFHeader, jobs []*Job) error {
+	bw := bufio.NewWriter(w)
+	if hdr.MaxProcs > 0 {
+		if _, err := fmt.Fprintf(bw, "; MaxProcs: %d\n", hdr.MaxProcs); err != nil {
+			return err
+		}
+	}
+	for _, c := range hdr.Comments {
+		if strings.HasPrefix(c, "MaxProcs:") {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "; %s\n", c); err != nil {
+			return err
+		}
+	}
+	for _, j := range jobs {
+		_, err := fmt.Fprintf(bw, "%d %.0f %.0f %.0f %d -1 -1 %d %.0f %.0f %d %d %d %d %d %d -1 -1\n",
+			j.ID, j.SubmitTime, j.WaitTime, j.RunTime, j.RequestedProcs,
+			j.RequestedProcs, j.RequestedTime, j.RequestedMemory, j.Status,
+			j.UserID, j.GroupID, j.Executable, j.QueueID, j.PartitionID)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,104 @@
+package job
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const sampleSWF = `; MaxProcs: 128
+; Computer: test cluster
+1 0 5 100 4 -1 -1 4 120 -1 1 3 1 7 1 0 -1 -1
+2 10 0 50 8 -1 -1 8 60 -1 1 4 1 7 1 0 -1 -1
+3 20 -1 0 1 -1 -1 0 0 -1 1 5 1 7 1 0 -1 -1
+`
+
+func TestParseSWF(t *testing.T) {
+	hdr, jobs, err := ParseSWF(strings.NewReader(sampleSWF))
+	if err != nil {
+		t.Fatalf("ParseSWF: %v", err)
+	}
+	if hdr.MaxProcs != 128 {
+		t.Errorf("MaxProcs = %d, want 128", hdr.MaxProcs)
+	}
+	if len(hdr.Comments) != 2 {
+		t.Errorf("comments = %d, want 2", len(hdr.Comments))
+	}
+	// Job 3 requests 0 processors even after fallback -> skipped.
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(jobs))
+	}
+	j := jobs[0]
+	if j.ID != 1 || j.SubmitTime != 0 || j.RunTime != 100 ||
+		j.RequestedProcs != 4 || j.RequestedTime != 120 || j.UserID != 3 {
+		t.Errorf("job 1 parsed wrong: %+v", j)
+	}
+	if jobs[1].UserID != 4 {
+		t.Errorf("job 2 user = %d, want 4", jobs[1].UserID)
+	}
+}
+
+func TestParseSWFFallbacks(t *testing.T) {
+	// Requested procs/time absent (-1): fall back to used procs and runtime.
+	const line = "1 0 0 100 16 -1 -1 -1 -1 -1 1 2 1 1 1 0 -1 -1\n"
+	_, jobs, err := ParseSWF(strings.NewReader(line))
+	if err != nil {
+		t.Fatalf("ParseSWF: %v", err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(jobs))
+	}
+	if jobs[0].RequestedProcs != 16 {
+		t.Errorf("RequestedProcs = %d, want fallback 16", jobs[0].RequestedProcs)
+	}
+	if jobs[0].RequestedTime != 100 {
+		t.Errorf("RequestedTime = %g, want fallback 100", jobs[0].RequestedTime)
+	}
+}
+
+func TestParseSWFErrors(t *testing.T) {
+	if _, _, err := ParseSWF(strings.NewReader("1 2 3\n")); err == nil {
+		t.Error("short record must error")
+	}
+	if _, _, err := ParseSWF(strings.NewReader(strings.Repeat("x ", 18) + "\n")); err == nil {
+		t.Error("non-numeric record must error")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var jobs []*Job
+	for i := 1; i <= 200; i++ {
+		j := New(i, float64(i*10), float64(1+rng.Intn(5000)), 1+rng.Intn(64), float64(1+rng.Intn(6000)))
+		j.UserID = rng.Intn(20)
+		j.GroupID = rng.Intn(5)
+		j.Executable = rng.Intn(9)
+		j.QueueID = 1
+		j.PartitionID = 1
+		jobs = append(jobs, j)
+	}
+	var buf bytes.Buffer
+	hdr := SWFHeader{MaxProcs: 256, Comments: []string{"UnixStartTime: 0"}}
+	if err := WriteSWF(&buf, hdr, jobs); err != nil {
+		t.Fatalf("WriteSWF: %v", err)
+	}
+	hdr2, jobs2, err := ParseSWF(&buf)
+	if err != nil {
+		t.Fatalf("ParseSWF: %v", err)
+	}
+	if hdr2.MaxProcs != 256 {
+		t.Errorf("round-trip MaxProcs = %d, want 256", hdr2.MaxProcs)
+	}
+	if len(jobs2) != len(jobs) {
+		t.Fatalf("round-trip jobs = %d, want %d", len(jobs2), len(jobs))
+	}
+	for i, j := range jobs {
+		g := jobs2[i]
+		if g.ID != j.ID || g.SubmitTime != j.SubmitTime || g.RunTime != j.RunTime ||
+			g.RequestedProcs != j.RequestedProcs || g.RequestedTime != j.RequestedTime ||
+			g.UserID != j.UserID || g.GroupID != j.GroupID || g.Executable != j.Executable {
+			t.Fatalf("job %d mismatch after round trip:\n got %+v\nwant %+v", i, g, j)
+		}
+	}
+}

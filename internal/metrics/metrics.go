@@ -1,0 +1,170 @@
+// Package metrics implements the scheduling goals of §II-A3 of the paper —
+// average waiting time, average turnaround, average (bounded) slowdown,
+// resource utilization — plus the per-user fairness aggregation of §V-F,
+// and maps each goal to the reward the RL agent maximizes.
+package metrics
+
+import (
+	"fmt"
+
+	"rlsched/internal/job"
+)
+
+// BsldThreshold is the interactive threshold (seconds) of the bounded
+// slowdown metric; the paper uses 10 seconds.
+const BsldThreshold = 10
+
+// Kind identifies a scheduling metric / optimization goal.
+type Kind int
+
+const (
+	// BoundedSlowdown is the paper's primary metric: minimize the average
+	// bounded slowdown max((w+e)/max(e,10), 1).
+	BoundedSlowdown Kind = iota
+	// Slowdown minimizes the average raw slowdown (w+e)/e (Appendix A).
+	Slowdown
+	// WaitTime minimizes the average queuing delay (Appendix B).
+	WaitTime
+	// Turnaround minimizes the average response time w+e.
+	Turnaround
+	// Utilization maximizes the fraction of busy processors.
+	Utilization
+	// FairMaxBoundedSlowdown minimizes the *maximum over users* of the
+	// per-user average bounded slowdown (the Maximal aggregator, §V-F).
+	FairMaxBoundedSlowdown
+)
+
+// Kinds lists all supported metrics.
+var Kinds = []Kind{BoundedSlowdown, Slowdown, WaitTime, Turnaround, Utilization, FairMaxBoundedSlowdown}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case BoundedSlowdown:
+		return "bsld"
+	case Slowdown:
+		return "slowdown"
+	case WaitTime:
+		return "wait"
+	case Turnaround:
+		return "resp"
+	case Utilization:
+		return "util"
+	case FairMaxBoundedSlowdown:
+		return "fair-bsld"
+	}
+	return fmt.Sprintf("metrics.Kind(%d)", int(k))
+}
+
+// ParseKind maps a metric name (as printed by String) back to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("metrics: unknown kind %q", s)
+}
+
+// Maximize reports whether larger values of the metric are better.
+func (k Kind) Maximize() bool { return k == Utilization }
+
+// Result is a finished scheduling run: the completed jobs plus the
+// utilization the simulator measured over the run's horizon.
+type Result struct {
+	Jobs        []*job.Job
+	Utilization float64
+}
+
+// Value computes the metric over the result. Unstarted jobs are ignored.
+func Value(k Kind, r Result) float64 {
+	switch k {
+	case Utilization:
+		return r.Utilization
+	case FairMaxBoundedSlowdown:
+		return FairMax(r.Jobs, BoundedSlowdown)
+	}
+	n := 0
+	sum := 0.0
+	for _, j := range r.Jobs {
+		if !j.Started() {
+			continue
+		}
+		sum += perJob(k, j)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func perJob(k Kind, j *job.Job) float64 {
+	switch k {
+	case BoundedSlowdown:
+		return j.BoundedSlowdown(BsldThreshold)
+	case Slowdown:
+		return j.Slowdown()
+	case WaitTime:
+		return j.Wait()
+	case Turnaround:
+		return j.Turnaround()
+	}
+	return 0
+}
+
+// FairMax returns the maximum over users of the per-user average of the
+// given base metric. Jobs without user information form a single bucket.
+func FairMax(jobs []*job.Job, base Kind) float64 {
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for _, j := range jobs {
+		if !j.Started() {
+			continue
+		}
+		sums[j.UserID] += perJob(base, j)
+		counts[j.UserID]++
+	}
+	max := 0.0
+	for u, s := range sums {
+		if avg := s / float64(counts[u]); avg > max {
+			max = avg
+		}
+	}
+	return max
+}
+
+// Reward converts the metric of a finished sequence into the scalar reward
+// the agent maximizes: the metric itself for maximization goals, its
+// negation for minimization goals (§IV-A: reward = −bsld, reward = util).
+func Reward(k Kind, r Result) float64 {
+	v := Value(k, r)
+	if k.Maximize() {
+		return v
+	}
+	return -v
+}
+
+// RewardFunc maps a finished sequence to the scalar reward the agent
+// maximizes. Custom reward functions are how the paper handles combined
+// goals ("RLScheduler can still work via configuring its reward
+// functions", §V-F / §VII).
+type RewardFunc func(Result) float64
+
+// WeightedReward combines several goals into one reward:
+// Σ weight·Reward(kind). Positive weights mean "optimize this goal";
+// relative magnitudes set the trade-off (e.g. minimize slowdown while
+// maximizing utilization: {BoundedSlowdown: 1, Utilization: 1000}).
+func WeightedReward(weights map[Kind]float64) RewardFunc {
+	ks := make([]Kind, 0, len(weights))
+	for k := range weights {
+		ks = append(ks, k)
+	}
+	return func(r Result) float64 {
+		total := 0.0
+		for _, k := range ks {
+			total += weights[k] * Reward(k, r)
+		}
+		return total
+	}
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"testing"
+
+	"rlsched/internal/job"
+)
+
+func startedJob(id int, submit, start, run float64, user int) *job.Job {
+	j := job.New(id, submit, run, 1, run)
+	j.StartTime = start
+	j.EndTime = start + run
+	j.UserID = user
+	return j
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind must reject unknown names")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must still print")
+	}
+}
+
+func TestMaximize(t *testing.T) {
+	if !Utilization.Maximize() {
+		t.Error("utilization is a maximization goal")
+	}
+	for _, k := range []Kind{BoundedSlowdown, Slowdown, WaitTime, Turnaround, FairMaxBoundedSlowdown} {
+		if k.Maximize() {
+			t.Errorf("%v must be a minimization goal", k)
+		}
+	}
+}
+
+func TestValueAverages(t *testing.T) {
+	r := Result{Jobs: []*job.Job{
+		startedJob(1, 0, 100, 100, 0), // wait 100, turnaround 200, sld 2
+		startedJob(2, 0, 300, 100, 1), // wait 300, turnaround 400, sld 4
+		job.New(3, 0, 50, 1, 50),      // unstarted: ignored
+	}, Utilization: 0.7}
+
+	if v := Value(WaitTime, r); v != 200 {
+		t.Errorf("wait = %g, want 200", v)
+	}
+	if v := Value(Turnaround, r); v != 300 {
+		t.Errorf("resp = %g, want 300", v)
+	}
+	if v := Value(Slowdown, r); v != 3 {
+		t.Errorf("slowdown = %g, want 3", v)
+	}
+	if v := Value(BoundedSlowdown, r); v != 3 {
+		t.Errorf("bsld = %g, want 3", v)
+	}
+	if v := Value(Utilization, r); v != 0.7 {
+		t.Errorf("util = %g, want 0.7", v)
+	}
+}
+
+func TestValueEmpty(t *testing.T) {
+	if v := Value(BoundedSlowdown, Result{}); v != 0 {
+		t.Errorf("empty result = %g, want 0", v)
+	}
+}
+
+func TestFairMax(t *testing.T) {
+	jobs := []*job.Job{
+		startedJob(1, 0, 0, 100, 0),   // user 0: sld 1
+		startedJob(2, 0, 100, 100, 0), // user 0: sld 2 -> avg 1.5
+		startedJob(3, 0, 900, 100, 1), // user 1: sld 10 -> avg 10
+	}
+	if v := FairMax(jobs, BoundedSlowdown); v != 10 {
+		t.Errorf("FairMax = %g, want 10 (worst user)", v)
+	}
+	r := Result{Jobs: jobs}
+	if v := Value(FairMaxBoundedSlowdown, r); v != 10 {
+		t.Errorf("Value(fair) = %g, want 10", v)
+	}
+	if v := FairMax(nil, BoundedSlowdown); v != 0 {
+		t.Errorf("FairMax(nil) = %g, want 0", v)
+	}
+}
+
+func TestRewardSign(t *testing.T) {
+	r := Result{Jobs: []*job.Job{startedJob(1, 0, 100, 100, 0)}, Utilization: 0.8}
+	if got := Reward(BoundedSlowdown, r); got != -2 {
+		t.Errorf("bsld reward = %g, want -2 (negated)", got)
+	}
+	if got := Reward(Utilization, r); got != 0.8 {
+		t.Errorf("util reward = %g, want +0.8", got)
+	}
+}

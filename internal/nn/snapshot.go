@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Snapshot is a serializable model state: the architecture identity plus
+// every parameter tensor. Policy and value networks snapshot together so a
+// trained agent round-trips through one file.
+type Snapshot struct {
+	// PolicyKind names the policy architecture ("kernel", "mlp-v1", ...).
+	PolicyKind string `json:"policy_kind"`
+	MaxObs     int    `json:"max_obs"`
+	Features   int    `json:"features"`
+	// ValueHidden records the critic hidden sizes.
+	ValueHidden []int `json:"value_hidden"`
+	// Policy and Value hold the flattened parameters in Params() order.
+	Policy []ParamBlob `json:"policy"`
+	Value  []ParamBlob `json:"value"`
+}
+
+// ParamBlob is one tensor's shape and data.
+type ParamBlob struct {
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+func blobs(m Module) []ParamBlob {
+	var out []ParamBlob
+	for _, p := range m.Params() {
+		out = append(out, ParamBlob{
+			Shape: append([]int(nil), p.Shape...),
+			Data:  append([]float64(nil), p.Data...),
+		})
+	}
+	return out
+}
+
+func restore(m Module, bs []ParamBlob) error {
+	ps := m.Params()
+	if len(ps) != len(bs) {
+		return fmt.Errorf("nn: snapshot has %d tensors, model has %d", len(bs), len(ps))
+	}
+	for i, p := range ps {
+		if len(bs[i].Data) != p.Size() {
+			return fmt.Errorf("nn: snapshot tensor %d has %d values, model wants %d",
+				i, len(bs[i].Data), p.Size())
+		}
+		copy(p.Data, bs[i].Data)
+	}
+	return nil
+}
+
+// Snap captures the current weights of a policy/value pair.
+func Snap(policy PolicyNet, value *ValueNet, valueHidden []int) *Snapshot {
+	maxObs, feat := policy.Dims()
+	if valueHidden == nil {
+		valueHidden = DefaultValueSizes
+	}
+	return &Snapshot{
+		PolicyKind:  policy.Kind(),
+		MaxObs:      maxObs,
+		Features:    feat,
+		ValueHidden: append([]int(nil), valueHidden...),
+		Policy:      blobs(policy),
+		Value:       blobs(value),
+	}
+}
+
+// Materialize rebuilds a policy/value pair from the snapshot. The rng only
+// seeds construction; weights are overwritten from the snapshot.
+func (s *Snapshot) Materialize(rng *rand.Rand) (PolicyNet, *ValueNet, error) {
+	policy, err := NewPolicy(rng, s.PolicyKind, s.MaxObs, s.Features)
+	if err != nil {
+		return nil, nil, err
+	}
+	value := NewValueNet(rng, s.MaxObs, s.Features, s.ValueHidden)
+	if err := restore(policy, s.Policy); err != nil {
+		return nil, nil, err
+	}
+	if err := restore(value, s.Value); err != nil {
+		return nil, nil, err
+	}
+	return policy, value, nil
+}
+
+// Write encodes the snapshot as JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// ReadSnapshot decodes a snapshot from JSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: decode snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// CopyParams copies weights from src to dst (same architecture).
+func CopyParams(dst, src Module) error {
+	return restore(dst, blobs(src))
+}

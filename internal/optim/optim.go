@@ -1,0 +1,135 @@
+// Package optim provides the gradient-descent optimizers used to train
+// RLScheduler's networks: Adam (the paper trains with learning rate 1e-3)
+// and plain SGD.
+package optim
+
+import (
+	"math"
+
+	ag "rlsched/internal/autograd"
+)
+
+// Optimizer updates a fixed parameter set from accumulated gradients.
+type Optimizer interface {
+	// Step applies one update from the current gradients.
+	Step()
+	// ZeroGrad clears all parameter gradients.
+	ZeroGrad()
+}
+
+// SGD is vanilla stochastic gradient descent with optional momentum.
+type SGD struct {
+	params   []*ag.Tensor
+	lr       float64
+	momentum float64
+	velocity [][]float64
+}
+
+// NewSGD returns an SGD optimizer over params.
+func NewSGD(params []*ag.Tensor, lr, momentum float64) *SGD {
+	s := &SGD{params: params, lr: lr, momentum: momentum}
+	if momentum != 0 {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, p.Size())
+		}
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		if p.Grad == nil {
+			continue
+		}
+		if s.velocity != nil {
+			v := s.velocity[i]
+			for j := range p.Data {
+				v[j] = s.momentum*v[j] + p.Grad[j]
+				p.Data[j] -= s.lr * v[j]
+			}
+		} else {
+			for j := range p.Data {
+				p.Data[j] -= s.lr * p.Grad[j]
+			}
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (s *SGD) ZeroGrad() { zero(s.params) }
+
+// Adam implements Kingma & Ba's Adam with bias correction.
+type Adam struct {
+	params []*ag.Tensor
+	lr     float64
+	beta1  float64
+	beta2  float64
+	eps    float64
+	m, v   [][]float64
+	t      int
+}
+
+// NewAdam returns an Adam optimizer with the standard betas (0.9, 0.999).
+func NewAdam(params []*ag.Tensor, lr float64) *Adam {
+	a := &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, p.Size())
+		a.v[i] = make([]float64, p.Size())
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, p := range a.params {
+		if p.Grad == nil {
+			continue
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			g := p.Grad[j]
+			m[j] = a.beta1*m[j] + (1-a.beta1)*g
+			v[j] = a.beta2*v[j] + (1-a.beta2)*g*g
+			mHat := m[j] / c1
+			vHat := v[j] / c2
+			p.Data[j] -= a.lr * mHat / (math.Sqrt(vHat) + a.eps)
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (a *Adam) ZeroGrad() { zero(a.params) }
+
+func zero(params []*ag.Tensor) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm (a standard PPO stabilizer).
+func ClipGradNorm(params []*ag.Tensor, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		f := maxNorm / norm
+		for _, p := range params {
+			for j := range p.Grad {
+				p.Grad[j] *= f
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,44 @@
+// Package policy adapts trained policy networks to the simulator's
+// Scheduler interface, so an RL agent can be dropped anywhere a heuristic
+// scheduler fits — evaluation sequences, cross-trace generalization runs
+// (Table VII) and the production-style inference path of Table IX.
+package policy
+
+import (
+	ag "rlsched/internal/autograd"
+	"rlsched/internal/job"
+	"rlsched/internal/nn"
+	"rlsched/internal/sim"
+)
+
+// NetScheduler wraps a policy network as a deterministic sim.Scheduler:
+// it builds the same observation the training environment builds and picks
+// the highest-probability job (no exploration at inference, §IV-B1).
+type NetScheduler struct {
+	Net    nn.PolicyNet
+	maxObs int
+	feat   int
+}
+
+// NewNetScheduler wraps net.
+func NewNetScheduler(net nn.PolicyNet) *NetScheduler {
+	maxObs, feat := net.Dims()
+	return &NetScheduler{Net: net, maxObs: maxObs, feat: feat}
+}
+
+// Pick implements sim.Scheduler.
+func (n *NetScheduler) Pick(visible []*job.Job, now float64, view sim.ClusterView) int {
+	obs := sim.BuildObs(visible, now, view, len(visible), n.maxObs)
+	logits := n.Net.Logits(ag.FromSlice(obs, 1, n.maxObs*n.feat))
+	limit := len(visible)
+	if limit > n.maxObs {
+		limit = n.maxObs
+	}
+	best := 0
+	for j := 1; j < limit; j++ {
+		if logits.Data[j] > logits.Data[best] {
+			best = j
+		}
+	}
+	return best
+}

@@ -1,0 +1,85 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+	"rlsched/internal/nn"
+	"rlsched/internal/sim"
+	"rlsched/internal/trace"
+)
+
+func TestPickInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewKernelNet(rng, 16, sim.JobFeatures, nil)
+	s := NewNetScheduler(net)
+	view := sim.ClusterView{FreeProcs: 32, TotalProcs: 64}
+	for n := 1; n <= 16; n++ {
+		var visible []*job.Job
+		for i := 0; i < n; i++ {
+			visible = append(visible, job.New(i+1, 0, float64(10*(i+1)), 1+i%4, float64(10*(i+1))))
+		}
+		got := s.Pick(visible, 100, view)
+		if got < 0 || got >= n {
+			t.Fatalf("Pick = %d with %d visible jobs", got, n)
+		}
+	}
+}
+
+func TestPickDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := nn.NewKernelNet(rng, 8, sim.JobFeatures, nil)
+	s := NewNetScheduler(net)
+	view := sim.ClusterView{FreeProcs: 8, TotalProcs: 16}
+	visible := []*job.Job{
+		job.New(1, 0, 100, 2, 100),
+		job.New(2, 0, 50, 1, 50),
+		job.New(3, 0, 900, 8, 900),
+	}
+	first := s.Pick(visible, 10, view)
+	for i := 0; i < 5; i++ {
+		if got := s.Pick(visible, 10, view); got != first {
+			t.Fatal("inference must be deterministic (argmax, no sampling)")
+		}
+	}
+}
+
+func TestNetSchedulerDrivesSimulator(t *testing.T) {
+	tr := trace.Preset("Lublin-1", 120, 3)
+	rng := rand.New(rand.NewSource(3))
+	net := nn.NewKernelNet(rng, 16, sim.JobFeatures, nil)
+	s := sim.New(sim.Config{Processors: tr.Processors, MaxObserve: 16, Backfill: true})
+	if err := s.Load(tr.Window(0, 120)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(NewNetScheduler(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := metrics.Value(metrics.BoundedSlowdown, res); v < 1 {
+		t.Errorf("bsld %g < 1 impossible", v)
+	}
+	for _, j := range res.Jobs {
+		if !j.Started() {
+			t.Fatal("every job must run under an untrained network too")
+		}
+	}
+}
+
+// TestVisibleLongerThanMaxObs: if the simulator is configured with a larger
+// window than the network, Pick must stay within the network's slots.
+func TestVisibleLongerThanMaxObs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := nn.NewKernelNet(rng, 4, sim.JobFeatures, nil)
+	s := NewNetScheduler(net)
+	var visible []*job.Job
+	for i := 0; i < 10; i++ {
+		visible = append(visible, job.New(i+1, 0, 10, 1, 10))
+	}
+	got := s.Pick(visible, 0, sim.ClusterView{FreeProcs: 4, TotalProcs: 4})
+	if got < 0 || got >= 4 {
+		t.Fatalf("Pick = %d, must stay within the network's 4 slots", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package rl implements the reinforcement-learning machinery of the paper:
+// a trajectory buffer with Generalized Advantage Estimation, the PPO
+// actor–critic update (§V-A: OpenAI SpinningUp-style PPO, 80 update
+// iterations per epoch, lr 1e-3), and the trajectory-filtering variance
+// reduction of §IV-C.
+package rl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Buffer accumulates rollout steps across trajectories within one training
+// epoch and computes GAE(λ) advantages and reward-to-go returns per
+// finished trajectory.
+type Buffer struct {
+	gamma, lam float64
+
+	Obs   [][]float64
+	Masks [][]bool
+	Acts  []int
+	Rews  []float64
+	Vals  []float64
+	Logps []float64
+
+	Advs []float64
+	Rets []float64
+
+	pathStart int
+}
+
+// NewBuffer returns a buffer with discount gamma and GAE lambda.
+func NewBuffer(gamma, lam float64) *Buffer {
+	return &Buffer{gamma: gamma, lam: lam}
+}
+
+// Store records one interaction step. The observation and mask slices are
+// retained (the environment allocates fresh ones per step).
+func (b *Buffer) Store(obs []float64, mask []bool, act int, rew, val, logp float64) {
+	b.Obs = append(b.Obs, obs)
+	b.Masks = append(b.Masks, mask)
+	b.Acts = append(b.Acts, act)
+	b.Rews = append(b.Rews, rew)
+	b.Vals = append(b.Vals, val)
+	b.Logps = append(b.Logps, logp)
+}
+
+// Len returns the number of stored steps.
+func (b *Buffer) Len() int { return len(b.Obs) }
+
+// FinishPath closes the current trajectory, bootstrapping with lastVal for
+// truncated paths (0 for terminal ones), and fills Advs/Rets for its steps.
+func (b *Buffer) FinishPath(lastVal float64) {
+	n := len(b.Obs)
+	if n == b.pathStart {
+		return
+	}
+	rews := b.Rews[b.pathStart:n]
+	vals := b.Vals[b.pathStart:n]
+
+	advs := make([]float64, len(rews))
+	rets := make([]float64, len(rews))
+	nextAdv := 0.0
+	nextVal := lastVal
+	nextRet := lastVal
+	for t := len(rews) - 1; t >= 0; t-- {
+		delta := rews[t] + b.gamma*nextVal - vals[t]
+		nextAdv = delta + b.gamma*b.lam*nextAdv
+		advs[t] = nextAdv
+		nextVal = vals[t]
+		nextRet = rews[t] + b.gamma*nextRet
+		rets[t] = nextRet
+	}
+	b.Advs = append(b.Advs, advs...)
+	b.Rets = append(b.Rets, rets...)
+	b.pathStart = n
+}
+
+// Batch is the training view of a finished epoch's data with normalized
+// advantages.
+type Batch struct {
+	Obs   [][]float64
+	Masks [][]bool
+	Acts  []int
+	Advs  []float64
+	Rets  []float64
+	Logps []float64
+}
+
+// Get finalizes the epoch: it normalizes advantages to zero mean and unit
+// variance (the standard PPO variance-reduction trick) and returns the
+// batch. It errors if a trajectory is still open.
+func (b *Buffer) Get() (Batch, error) {
+	if b.pathStart != len(b.Obs) {
+		return Batch{}, fmt.Errorf("rl: Get with an unfinished trajectory (%d of %d steps closed)",
+			b.pathStart, len(b.Obs))
+	}
+	if len(b.Obs) == 0 {
+		return Batch{}, fmt.Errorf("rl: Get on an empty buffer")
+	}
+	mean, std := meanStd(b.Advs)
+	advs := make([]float64, len(b.Advs))
+	for i, a := range b.Advs {
+		advs[i] = (a - mean) / (std + 1e-8)
+	}
+	return Batch{
+		Obs:   b.Obs,
+		Masks: b.Masks,
+		Acts:  b.Acts,
+		Advs:  advs,
+		Rets:  b.Rets,
+		Logps: b.Logps,
+	}, nil
+}
+
+// Reset clears the buffer for the next epoch.
+func (b *Buffer) Reset() {
+	b.Obs = b.Obs[:0]
+	b.Masks = b.Masks[:0]
+	b.Acts = b.Acts[:0]
+	b.Rews = b.Rews[:0]
+	b.Vals = b.Vals[:0]
+	b.Logps = b.Logps[:0]
+	b.Advs = b.Advs[:0]
+	b.Rets = b.Rets[:0]
+	b.pathStart = 0
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return m, math.Sqrt(v / float64(len(xs)))
+}

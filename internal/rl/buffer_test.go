@@ -1,0 +1,160 @@
+package rl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func obsOf(v float64) []float64 { return []float64{v} }
+func maskOf() []bool            { return []bool{true} }
+
+func TestFinishPathTerminalRewardGAE(t *testing.T) {
+	// Three steps, reward only at the end (the paper's reward shape),
+	// gamma=1, lambda=1: every advantage = R - V_t, returns all = R.
+	b := NewBuffer(1, 1)
+	vals := []float64{0.5, 0.2, -0.1}
+	for i, v := range vals {
+		r := 0.0
+		if i == 2 {
+			r = -10
+		}
+		b.Store(obsOf(float64(i)), maskOf(), 0, r, v, -0.7)
+	}
+	b.FinishPath(0)
+	for i := range vals {
+		wantAdv := -10 - vals[i]
+		if math.Abs(b.Advs[i]-wantAdv) > 1e-12 {
+			t.Errorf("adv[%d] = %g, want %g", i, b.Advs[i], wantAdv)
+		}
+		if math.Abs(b.Rets[i]-(-10)) > 1e-12 {
+			t.Errorf("ret[%d] = %g, want -10", i, b.Rets[i])
+		}
+	}
+}
+
+func TestGAELambdaOneEqualsMonteCarlo(t *testing.T) {
+	// Property (documented in DESIGN.md): with λ=1 the GAE advantage is
+	// the Monte-Carlo return minus the value baseline, for any rewards.
+	f := func(seed int64) bool {
+		rews := []float64{1, -2, 3, 0.5, -1}
+		vals := []float64{0.1, 0.2, -0.3, 0.4, 0}
+		gamma := 0.9
+		b := NewBuffer(gamma, 1)
+		for i := range rews {
+			b.Store(obsOf(0), maskOf(), 0, rews[i]+float64(seed%3), vals[i], 0)
+		}
+		b.FinishPath(0)
+		// Monte-Carlo discounted returns.
+		rets := make([]float64, len(rews))
+		next := 0.0
+		for i := len(rews) - 1; i >= 0; i-- {
+			next = rews[i] + float64(seed%3) + gamma*next
+			rets[i] = next
+		}
+		for i := range rews {
+			if math.Abs(b.Rets[i]-rets[i]) > 1e-9 {
+				return false
+			}
+			if math.Abs(b.Advs[i]-(rets[i]-vals[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGAELambdaZeroIsOneStepTD(t *testing.T) {
+	b := NewBuffer(0.99, 0)
+	rews := []float64{1, 2}
+	vals := []float64{0.5, 0.7}
+	for i := range rews {
+		b.Store(obsOf(0), maskOf(), 0, rews[i], vals[i], 0)
+	}
+	b.FinishPath(3) // bootstrap value
+	want0 := rews[0] + 0.99*vals[1] - vals[0]
+	want1 := rews[1] + 0.99*3 - vals[1]
+	if math.Abs(b.Advs[0]-want0) > 1e-12 || math.Abs(b.Advs[1]-want1) > 1e-12 {
+		t.Errorf("TD advantages = %v, want [%g %g]", b.Advs, want0, want1)
+	}
+}
+
+func TestMultipleTrajectories(t *testing.T) {
+	b := NewBuffer(1, 1)
+	// Trajectory 1: 2 steps, final reward -4.
+	b.Store(obsOf(1), maskOf(), 0, 0, 0, 0)
+	b.Store(obsOf(2), maskOf(), 0, -4, 0, 0)
+	b.FinishPath(0)
+	// Trajectory 2: 1 step, reward -8.
+	b.Store(obsOf(3), maskOf(), 0, -8, 0, 0)
+	b.FinishPath(0)
+
+	if b.Len() != 3 || len(b.Advs) != 3 {
+		t.Fatalf("len = %d advs = %d, want 3", b.Len(), len(b.Advs))
+	}
+	// Rewards-to-go must not leak across the trajectory boundary.
+	if b.Rets[0] != -4 || b.Rets[1] != -4 || b.Rets[2] != -8 {
+		t.Errorf("rets = %v, want [-4 -4 -8]", b.Rets)
+	}
+}
+
+func TestGetNormalizesAdvantages(t *testing.T) {
+	b := NewBuffer(1, 1)
+	for i := 0; i < 8; i++ {
+		r := 0.0
+		if i == 7 {
+			r = -100
+		}
+		b.Store(obsOf(float64(i)), maskOf(), 0, r, float64(i), 0)
+	}
+	b.FinishPath(0)
+	batch, err := b.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, s := meanStd(batch.Advs)
+	if math.Abs(m) > 1e-9 {
+		t.Errorf("normalized adv mean = %g, want 0", m)
+	}
+	if math.Abs(s-1) > 1e-6 {
+		t.Errorf("normalized adv std = %g, want 1", s)
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	b := NewBuffer(1, 1)
+	if _, err := b.Get(); err == nil {
+		t.Error("empty buffer Get must error")
+	}
+	b.Store(obsOf(0), maskOf(), 0, 0, 0, 0)
+	if _, err := b.Get(); err == nil {
+		t.Error("Get with open trajectory must error")
+	}
+}
+
+func TestFinishEmptyPathIsNoop(t *testing.T) {
+	b := NewBuffer(1, 1)
+	b.FinishPath(0)
+	if b.Len() != 0 || len(b.Advs) != 0 {
+		t.Error("finishing an empty path must be a no-op")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := NewBuffer(1, 1)
+	b.Store(obsOf(0), maskOf(), 0, 1, 0, 0)
+	b.FinishPath(0)
+	b.Reset()
+	if b.Len() != 0 || len(b.Advs) != 0 || len(b.Rets) != 0 {
+		t.Error("Reset must clear everything")
+	}
+	// Reusable after reset.
+	b.Store(obsOf(0), maskOf(), 0, 1, 0, 0)
+	b.FinishPath(0)
+	if _, err := b.Get(); err != nil {
+		t.Errorf("buffer unusable after Reset: %v", err)
+	}
+}

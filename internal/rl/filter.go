@@ -1,0 +1,104 @@
+package rl
+
+import (
+	"math/rand"
+
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+	"rlsched/internal/sched"
+	"rlsched/internal/sim"
+	"rlsched/internal/stats"
+	"rlsched/internal/trace"
+)
+
+// Trajectory filtering (§IV-C): before training, a known heuristic (SJF)
+// probes randomly sampled job sequences from the trace; the resulting
+// metric distribution (Fig 7) fixes an acceptance range
+// R = (median, 2·mean). Phase-1 training only sees sequences whose
+// SJF metric falls inside R — dropping both the 'easy sequences' (below
+// the median, which teach nothing) and the extreme 'hard sequences'
+// (above twice the mean, which destabilize PPO). Phase 2 trains on
+// everything once the agent has converged.
+
+// ProbeStats summarizes the heuristic probe distribution.
+type ProbeStats struct {
+	// Values are the per-sequence metric values under the probe
+	// scheduler (SJF).
+	Values []float64
+	Median float64
+	Mean   float64
+	Skew   float64
+}
+
+// Range returns the paper's acceptance range R = (median, 2·mean).
+func (p ProbeStats) Range() (lo, hi float64) { return p.Median, 2 * p.Mean }
+
+// Probe schedules n randomly sampled seqLen-job windows of the trace with
+// SJF and collects the goal metric of each, reproducing the Fig 7
+// distribution.
+func Probe(tr *trace.Trace, cfg sim.Config, goal metrics.Kind, n, seqLen int, rng *rand.Rand) (ProbeStats, error) {
+	sjf := sched.SJF()
+	s := sim.New(cfg)
+	var ps ProbeStats
+	for i := 0; i < n; i++ {
+		win := tr.SampleWindow(rng, seqLen)
+		if err := s.Load(win); err != nil {
+			return ps, err
+		}
+		res, err := s.Run(sjf)
+		if err != nil {
+			return ps, err
+		}
+		ps.Values = append(ps.Values, metrics.Value(goal, res))
+	}
+	ps.Median = stats.Median(ps.Values)
+	ps.Mean = stats.Mean(ps.Values)
+	ps.Skew = stats.Skewness(ps.Values)
+	return ps, nil
+}
+
+// Filter accepts or rejects candidate training sequences by their SJF
+// metric. A disabled filter accepts everything.
+type Filter struct {
+	Enabled bool
+	Lo, Hi  float64
+
+	goal metrics.Kind
+	sjf  sim.Scheduler
+	sim  *sim.Simulator
+}
+
+// NewFilter builds a filter with the acceptance range derived from a probe.
+func NewFilter(cfg sim.Config, goal metrics.Kind, ps ProbeStats) *Filter {
+	lo, hi := ps.Range()
+	return &Filter{
+		Enabled: true,
+		Lo:      lo,
+		Hi:      hi,
+		goal:    goal,
+		sjf:     sched.SJF(),
+		sim:     sim.New(cfg),
+	}
+}
+
+// Accept probes the candidate window with SJF and reports whether its
+// metric falls inside (Lo, Hi]. The window's scheduling state is left
+// reset-able: training environments reload (and reset) the same jobs.
+// Probe failures reject the window.
+func (f *Filter) Accept(win []*job.Job) bool {
+	if !f.Enabled {
+		return true
+	}
+	if err := f.sim.Load(win); err != nil {
+		return false
+	}
+	res, err := f.sim.Run(f.sjf)
+	if err != nil {
+		return false
+	}
+	v := metrics.Value(f.goal, res)
+	return v > f.Lo && v <= f.Hi
+}
+
+// Disable turns the filter off (phase-2 training on all sequences).
+func (f *Filter) Disable() { f.Enabled = false }

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math"
+
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+)
+
+// JobFeatures is the per-job observation width. Each visible pending job is
+// embedded as a fixed vector combining its own attributes with the current
+// resource availability (§IV-B3: "the vector also contains available
+// resources ... the priority of a job actually varies depending on the
+// currently available resources"):
+//
+//	0: waiting time, squashed to [0,1) by w/(w+600)
+//	1: requested runtime, log-scaled against a 7-day cap
+//	2: requested processors / cluster size
+//	3: free processors / cluster size
+//	4: 1 if the job fits the free processors right now
+//	5: pending-queue occupancy, len(pending)/MaxObserve capped at 1
+//	6: 1 for a real job, 0 for a padding row
+const JobFeatures = 7
+
+// maxReqTimeCap caps the runtime feature's log scale (7 days in seconds).
+const maxReqTimeCap = 7 * 24 * 3600
+
+// Obs is a flattened MaxObserve×JobFeatures observation matrix.
+type Obs []float64
+
+// Env is the Gym-style interface SchedGym exposes to RL agents: Reset loads
+// a job sequence and returns the first observation; Step applies a job
+// selection and returns the next observation. Rewards follow §IV-A: zero on
+// every intermediate action, the full (negated for minimization) sequence
+// metric on the final action.
+type Env struct {
+	sim    *Simulator
+	goal   metrics.Kind
+	reward metrics.RewardFunc
+}
+
+// NewEnv returns an environment for the cluster config and optimization
+// goal.
+func NewEnv(cfg Config, goal metrics.Kind) *Env {
+	return &Env{sim: New(cfg), goal: goal}
+}
+
+// SetReward overrides the terminal reward with a custom function — the
+// hook for combined goals (metrics.WeightedReward) and quota-style shaping
+// (§V-F). A nil fn restores the plain goal reward.
+func (e *Env) SetReward(fn metrics.RewardFunc) { e.reward = fn }
+
+// MaxObserve returns the action-space size.
+func (e *Env) MaxObserve() int { return e.sim.cfg.maxObserve() }
+
+// Goal returns the metric the environment rewards.
+func (e *Env) Goal() metrics.Kind { return e.goal }
+
+// Reset loads a sequence (pass freshly cloned jobs, e.g. trace.Window) and
+// returns the initial observation. It returns an error for invalid
+// sequences.
+func (e *Env) Reset(seq []*job.Job) (Obs, error) {
+	if err := e.sim.Load(seq); err != nil {
+		return nil, err
+	}
+	// Advance until a decision is needed.
+	for e.sim.PendingCount() == 0 && !e.sim.Done() {
+		if !e.sim.advanceToNextEvent() {
+			break
+		}
+	}
+	return e.observe(), nil
+}
+
+// Step schedules the visible job at slot action (invalid or padded slots
+// fall back to slot 0), advances to the next decision point, and returns
+// the next observation, the reward, and whether the sequence is finished.
+func (e *Env) Step(action int) (Obs, float64, bool) {
+	visible := e.sim.Visible()
+	if len(visible) == 0 {
+		// Terminal state already reached.
+		return e.observe(), 0, true
+	}
+	if action < 0 || action >= len(visible) {
+		action = 0
+	}
+	e.sim.Schedule(visible[action])
+	for e.sim.PendingCount() == 0 && !e.sim.Done() {
+		if !e.sim.advanceToNextEvent() {
+			break
+		}
+	}
+	if e.sim.Done() || (e.sim.PendingCount() == 0 && e.sim.arrivalIdx == len(e.sim.seq)) {
+		for e.sim.advanceToNextEvent() {
+		}
+		res := e.sim.result()
+		if e.reward != nil {
+			return e.observe(), e.reward(res), true
+		}
+		return e.observe(), metrics.Reward(e.goal, res), true
+	}
+	return e.observe(), 0, false
+}
+
+// Mask returns validity flags for each action slot: true where a real
+// pending job occupies the slot and starting it would not violate the
+// per-user quota (§V-F). If quotas would mask every slot, all real slots
+// are re-enabled — the simulator then simply waits for quota to free up,
+// so the agent never faces an all-invalid action space.
+func (e *Env) Mask() []bool {
+	m := make([]bool, e.MaxObserve())
+	visible := e.sim.Visible()
+	any := false
+	for i, j := range visible {
+		if e.sim.QuotaOK(j) {
+			m[i] = true
+			any = true
+		}
+	}
+	if !any {
+		for i := range visible {
+			m[i] = true
+		}
+	}
+	return m
+}
+
+// Result returns the finished run's jobs and utilization.
+func (e *Env) Result() metrics.Result { return e.sim.result() }
+
+// Sim exposes the underlying simulator (read-only use intended).
+func (e *Env) Sim() *Simulator { return e.sim }
+
+// observe builds a fresh fixed-size observation matrix. Each call
+// allocates so callers (e.g. trajectory buffers) may retain the slice.
+func (e *Env) observe() Obs {
+	return BuildObs(e.sim.Visible(), e.sim.Now(), e.sim.View(), e.sim.PendingCount(), e.MaxObserve())
+}
+
+// BuildObs embeds up to maxObs visible jobs into the fixed observation
+// matrix described by JobFeatures. It is shared by the training Env and by
+// inference-time schedulers that wrap a trained policy network.
+// pendingCount is the full pending-queue length (may exceed len(visible)).
+func BuildObs(visible []*job.Job, now float64, view ClusterView, pendingCount, maxObs int) Obs {
+	obs := make(Obs, maxObs*JobFeatures)
+	queueFrac := float64(pendingCount) / float64(maxObs)
+	if queueFrac > 1 {
+		queueFrac = 1
+	}
+	freeFrac := float64(view.FreeProcs) / float64(view.TotalProcs)
+	for i, j := range visible {
+		if i >= maxObs {
+			break
+		}
+		row := obs[i*JobFeatures : (i+1)*JobFeatures]
+		wait := now - j.SubmitTime
+		if wait < 0 {
+			wait = 0
+		}
+		row[0] = wait / (wait + 600)
+		row[1] = math.Log1p(j.RequestedTime) / math.Log1p(maxReqTimeCap)
+		row[2] = float64(j.RequestedProcs) / float64(view.TotalProcs)
+		row[3] = freeFrac
+		if j.RequestedProcs <= view.FreeProcs {
+			row[4] = 1
+		}
+		row[5] = queueFrac
+		row[6] = 1
+	}
+	return obs
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"sort"
+
+	"rlsched/internal/job"
+)
+
+// profile is a piecewise-constant availability timeline: free processors
+// from each step time until the next. It backs conservative backfilling,
+// where every queued job holds a reservation and a candidate may only
+// start if it disturbs none of them.
+type profile struct {
+	times []float64 // strictly increasing step boundaries
+	free  []int     // free[i] holds on [times[i], times[i+1])
+}
+
+// newProfile builds the availability timeline from the currently running
+// jobs (which free their processors at EndTime), starting at time now with
+// freeNow processors idle.
+func newProfile(now float64, freeNow int, running []*job.Job) *profile {
+	p := &profile{times: []float64{now}, free: []int{freeNow}}
+	ends := append([]*job.Job(nil), running...)
+	sort.Slice(ends, func(i, j int) bool { return ends[i].EndTime < ends[j].EndTime })
+	for _, j := range ends {
+		t := j.EndTime
+		if t < now {
+			t = now
+		}
+		p.release(t, j.RequestedProcs)
+	}
+	return p
+}
+
+// release adds procs back to the profile from time t onward.
+func (p *profile) release(t float64, procs int) {
+	i := p.stepAt(t)
+	if p.times[i] != t {
+		// Split the step.
+		p.times = append(p.times, 0)
+		p.free = append(p.free, 0)
+		copy(p.times[i+2:], p.times[i+1:])
+		copy(p.free[i+2:], p.free[i+1:])
+		p.times[i+1] = t
+		p.free[i+1] = p.free[i]
+		i++
+	}
+	for ; i < len(p.free); i++ {
+		p.free[i] += procs
+	}
+}
+
+// reserve subtracts procs on [start, start+duration).
+func (p *profile) reserve(start, duration float64, procs int) {
+	p.splitAt(start)
+	p.splitAt(start + duration)
+	for i := range p.times {
+		if p.times[i] >= start && p.times[i] < start+duration {
+			p.free[i] -= procs
+		}
+	}
+}
+
+// splitAt inserts a step boundary at t (no-op when present or before t0).
+func (p *profile) splitAt(t float64) {
+	if t <= p.times[0] {
+		return
+	}
+	i := p.stepAt(t)
+	if p.times[i] == t {
+		return
+	}
+	p.times = append(p.times, 0)
+	p.free = append(p.free, 0)
+	copy(p.times[i+2:], p.times[i+1:])
+	copy(p.free[i+2:], p.free[i+1:])
+	p.times[i+1] = t
+	p.free[i+1] = p.free[i]
+}
+
+// stepAt returns the index of the step containing time t (last step whose
+// start is <= t).
+func (p *profile) stepAt(t float64) int {
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] > t })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// earliest returns the first time >= from at which procs processors stay
+// free for duration seconds. For a piecewise-constant profile the earliest
+// feasible start is either `from` itself or a step boundary.
+func (p *profile) earliest(from, duration float64, procs int) float64 {
+	fits := func(start float64) bool {
+		end := start + duration
+		for j := p.stepAt(start); j < len(p.times); j++ {
+			if p.times[j] >= end {
+				break
+			}
+			if j+1 < len(p.times) && p.times[j+1] <= start {
+				continue
+			}
+			if p.free[j] < procs {
+				return false
+			}
+		}
+		return true
+	}
+	if fits(from) {
+		return from
+	}
+	for i := 0; i < len(p.times); i++ {
+		if p.times[i] <= from {
+			continue
+		}
+		if fits(p.times[i]) {
+			return p.times[i]
+		}
+	}
+	// Unreachable for valid requests: once everything drains, the final
+	// step holds the whole machine.
+	return p.times[len(p.times)-1]
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+)
+
+func userJob(id int, submit, run float64, procs, user int) *job.Job {
+	j := job.New(id, submit, run, procs, run)
+	j.UserID = user
+	return j
+}
+
+func TestQuotaDelaysSameUser(t *testing.T) {
+	// 8-proc machine, quota 4 per user. User 0 submits two 4-proc jobs:
+	// the second must wait for the first despite free processors; with
+	// backfilling, user 1's job fills the hole meanwhile.
+	s := New(Config{Processors: 8, UserQuota: 4, Backfill: true})
+	j1 := userJob(1, 0, 100, 4, 0)
+	j2 := userJob(2, 0, 100, 4, 0)
+	j3 := userJob(3, 0, 100, 4, 1) // other user: unaffected
+	if err := s.Load([]*job.Job{j1, j2, j3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(fcfsPick{}); err != nil {
+		t.Fatal(err)
+	}
+	if j1.StartTime != 0 {
+		t.Errorf("j1 start = %g, want 0", j1.StartTime)
+	}
+	if j2.StartTime != 100 {
+		t.Errorf("j2 start = %g, want 100 (quota-blocked behind j1)", j2.StartTime)
+	}
+	if j3.StartTime != 0 {
+		t.Errorf("j3 start = %g, want 0 (different user)", j3.StartTime)
+	}
+}
+
+func TestQuotaOversizedJobRunsAlone(t *testing.T) {
+	// A job larger than the quota may run while its user holds nothing.
+	s := New(Config{Processors: 8, UserQuota: 2})
+	j1 := userJob(1, 0, 50, 6, 0)
+	j2 := userJob(2, 0, 50, 2, 0)
+	if err := s.Load([]*job.Job{j1, j2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(fcfsPick{}); err != nil {
+		t.Fatal(err)
+	}
+	if j1.StartTime != 0 {
+		t.Errorf("oversized j1 start = %g, want 0", j1.StartTime)
+	}
+	if j2.StartTime != 50 {
+		t.Errorf("j2 start = %g, want 50 (waits for user's oversized job)", j2.StartTime)
+	}
+}
+
+func TestQuotaUnlimitedByDefault(t *testing.T) {
+	s := New(Config{Processors: 8})
+	j1 := userJob(1, 0, 100, 4, 0)
+	j2 := userJob(2, 0, 100, 4, 0)
+	if err := s.Load([]*job.Job{j1, j2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(fcfsPick{}); err != nil {
+		t.Fatal(err)
+	}
+	if j2.StartTime != 0 {
+		t.Errorf("without quota both jobs start at 0, j2 = %g", j2.StartTime)
+	}
+}
+
+func TestQuotaBackfillRespected(t *testing.T) {
+	// Backfilling must not sneak a quota-violating job in.
+	// 8 procs, quota 4. j1 (user 0, 4p) runs 100s. j2 (user 1, 8p)
+	// blocked -> reservation at 100. j3 (user 0, 2p, short) fits free
+	// procs and ends before the shadow time, but user 0 is at quota.
+	s := New(Config{Processors: 8, Backfill: true, UserQuota: 4})
+	j1 := userJob(1, 0, 100, 4, 0)
+	j2 := userJob(2, 1, 100, 8, 1)
+	j3 := userJob(3, 2, 10, 2, 0)
+	if err := s.Load([]*job.Job{j1, j2, j3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(fcfsPick{}); err != nil {
+		t.Fatal(err)
+	}
+	if j3.StartTime < 100 {
+		t.Errorf("j3 start = %g: backfill violated user 0's quota", j3.StartTime)
+	}
+}
+
+func TestQuotaMask(t *testing.T) {
+	env := NewEnv(Config{Processors: 8, MaxObserve: 4, UserQuota: 4}, metrics.BoundedSlowdown)
+	jobs := []*job.Job{
+		userJob(1, 0, 100, 4, 0),
+		userJob(2, 0, 100, 4, 0),
+		userJob(3, 0, 100, 4, 1),
+	}
+	if _, err := env.Reset(jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Schedule job 1 (user 0 hits quota).
+	if _, _, done := env.Step(0); done {
+		t.Fatal("episode ended early")
+	}
+	m := env.Mask()
+	if m[0] { // slot 0 is now user 0's second job: quota-masked
+		t.Error("user-0 job must be quota-masked")
+	}
+	if !m[1] { // user 1's job remains legal
+		t.Error("user-1 job must stay legal")
+	}
+}
+
+func TestQuotaMaskAllBlockedFallsBack(t *testing.T) {
+	env := NewEnv(Config{Processors: 8, MaxObserve: 4, UserQuota: 4}, metrics.BoundedSlowdown)
+	jobs := []*job.Job{
+		userJob(1, 0, 100, 4, 0),
+		userJob(2, 0, 100, 4, 0),
+	}
+	if _, err := env.Reset(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, done := env.Step(0); done {
+		t.Fatal("episode ended early")
+	}
+	m := env.Mask()
+	if !m[0] {
+		t.Error("with every slot quota-blocked the mask must re-enable real slots")
+	}
+}
+
+func TestQuotaEndToEndMetricsSane(t *testing.T) {
+	// Quotas slow the dominant user but the run must stay valid.
+	s := New(Config{Processors: 16, UserQuota: 4, Backfill: true})
+	var jobs []*job.Job
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, userJob(i+1, float64(i), 50, 2, i%3))
+	}
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(fcfsPick{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Jobs {
+		if !j.Started() {
+			t.Fatal("all jobs must eventually run under quotas")
+		}
+	}
+	if v := metrics.Value(metrics.BoundedSlowdown, res); v < 1 {
+		t.Errorf("bsld = %g", v)
+	}
+}

@@ -1,0 +1,429 @@
+// Package sim implements SchedGym (§IV-D of the paper): an event-driven
+// simulator of a homogeneous HPC platform consuming SWF-style job
+// sequences. Starting from an idle cluster it replays arrivals, queries a
+// Scheduler whenever a decision is needed, optionally backfills (EASY
+// style), and measures the §II-A3 metrics. A Gym-flavoured Env wraps the
+// simulator for reinforcement learning with fixed-size observations and
+// action masking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"rlsched/internal/cluster"
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+)
+
+// DefaultMaxObserve is MAX_OBSV_SIZE in the paper: the scheduler sees at
+// most this many pending jobs (the rest are cut off in FCFS order), the
+// same order of magnitude Slurm uses for its pending-job window.
+const DefaultMaxObserve = 128
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Processors is the cluster size; it must match the trace.
+	Processors int
+	// Backfill enables backfilling while the selected job waits.
+	Backfill bool
+	// Conservative switches the backfilling discipline from EASY (only
+	// the selected job holds a reservation) to conservative (every
+	// pending job holds one, in FCFS order behind the selection). Only
+	// meaningful with Backfill set; provided as an ablation of the
+	// paper's backfilling substrate.
+	Conservative bool
+	// MaxObserve caps the scheduler-visible queue (default 128).
+	MaxObserve int
+	// UserQuota, when positive, caps the processors any single user may
+	// hold concurrently. Scheduling decisions that would violate the
+	// quota are treated like insufficient resources — for RL agents the
+	// corresponding action slots are masked illegal (§V-F: "RLScheduler
+	// can also work with quota-based fairness").
+	UserQuota int
+}
+
+func (c Config) maxObserve() int {
+	if c.MaxObserve <= 0 {
+		return DefaultMaxObserve
+	}
+	return c.MaxObserve
+}
+
+// ClusterView is the resource information exposed to schedulers (the
+// actual runtime of jobs is never exposed, only requests).
+type ClusterView struct {
+	FreeProcs  int
+	TotalProcs int
+}
+
+// Scheduler selects the next job to run. Pick receives the visible pending
+// queue in FCFS order (never empty), the current time, and the resource
+// view, and returns the index of the chosen job. Out-of-range picks are
+// treated as 0.
+type Scheduler interface {
+	Pick(visible []*job.Job, now float64, view ClusterView) int
+}
+
+// runHeap orders running jobs by completion time.
+type runHeap []*job.Job
+
+func (h runHeap) Len() int            { return len(h) }
+func (h runHeap) Less(i, j int) bool  { return h[i].EndTime < h[j].EndTime }
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(*job.Job)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulator is a single-sequence SchedGym instance. Create one with New,
+// Load a sequence, then either Run with a Scheduler or drive it step by
+// step through Env.
+type Simulator struct {
+	cfg     Config
+	cluster *cluster.Cluster
+
+	seq        []*job.Job // the full sequence, submit-ordered
+	arrivalIdx int        // next job to arrive
+	pending    []*job.Job // arrived, not started (FCFS order)
+	running    runHeap
+	completed  int
+	now        float64
+	userProcs  map[int]int // processors currently held per user
+}
+
+// New returns a simulator for the config.
+func New(cfg Config) *Simulator {
+	if cfg.Processors <= 0 {
+		panic("sim: config needs a positive processor count")
+	}
+	return &Simulator{cfg: cfg, cluster: cluster.New(cfg.Processors)}
+}
+
+// Load resets the simulator and installs a job sequence (clones are NOT
+// taken; callers pass freshly cloned windows, e.g. trace.Window). The
+// sequence must be submit-ordered and fit the cluster.
+func (s *Simulator) Load(seq []*job.Job) error {
+	prev := -1.0
+	for i, j := range seq {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if j.SubmitTime < prev {
+			return fmt.Errorf("sim: job %d out of submit order", i)
+		}
+		prev = j.SubmitTime
+		if j.RequestedProcs > s.cfg.Processors {
+			return fmt.Errorf("sim: job %d requests %d > %d procs",
+				i, j.RequestedProcs, s.cfg.Processors)
+		}
+		j.Reset()
+	}
+	s.seq = seq
+	s.arrivalIdx = 0
+	s.pending = s.pending[:0]
+	s.running = s.running[:0]
+	s.completed = 0
+	s.now = 0
+	s.userProcs = map[int]int{}
+	s.cluster.Reset()
+	return nil
+}
+
+// QuotaOK reports whether starting j now would respect the per-user quota.
+// A job larger than the quota itself is admitted only while its user holds
+// nothing (it could otherwise never run).
+func (s *Simulator) QuotaOK(j *job.Job) bool {
+	if s.cfg.UserQuota <= 0 || j.UserID < 0 {
+		return true
+	}
+	if j.RequestedProcs > s.cfg.UserQuota {
+		return s.userProcs[j.UserID] == 0
+	}
+	return s.userProcs[j.UserID]+j.RequestedProcs <= s.cfg.UserQuota
+}
+
+// canStart combines resource availability and quota.
+func (s *Simulator) canStart(j *job.Job) bool {
+	return s.cluster.CanAllocate(j.RequestedProcs) && s.QuotaOK(j)
+}
+
+// Done reports whether every loaded job has completed.
+func (s *Simulator) Done() bool { return s.completed == len(s.seq) }
+
+// Now returns the simulation clock.
+func (s *Simulator) Now() float64 { return s.now }
+
+// View returns the scheduler-visible resource state.
+func (s *Simulator) View() ClusterView {
+	return ClusterView{FreeProcs: s.cluster.Free(), TotalProcs: s.cluster.Total()}
+}
+
+// Visible returns the scheduler-visible window of the pending queue.
+func (s *Simulator) Visible() []*job.Job {
+	n := s.cfg.maxObserve()
+	if n > len(s.pending) {
+		n = len(s.pending)
+	}
+	return s.pending[:n]
+}
+
+// PendingCount returns the number of arrived, unstarted jobs.
+func (s *Simulator) PendingCount() int { return len(s.pending) }
+
+// advanceTo moves the clock to t, completing jobs and admitting arrivals in
+// event order.
+func (s *Simulator) advanceTo(t float64) {
+	for {
+		nextEvent := t
+		kind := 0 // 0 = stop at t
+		if len(s.running) > 0 && s.running[0].EndTime <= nextEvent {
+			nextEvent = s.running[0].EndTime
+			kind = 1
+		}
+		if s.arrivalIdx < len(s.seq) && s.seq[s.arrivalIdx].SubmitTime <= nextEvent {
+			// Arrivals at the same instant as completions are
+			// processed after them (completion frees resources the
+			// arrival may use); strict earlier arrivals first.
+			if kind == 0 || s.seq[s.arrivalIdx].SubmitTime < nextEvent {
+				nextEvent = s.seq[s.arrivalIdx].SubmitTime
+				kind = 2
+			}
+		}
+		s.cluster.AdvanceTo(nextEvent)
+		s.now = nextEvent
+		switch kind {
+		case 0:
+			return
+		case 1:
+			j := heap.Pop(&s.running).(*job.Job)
+			if err := s.cluster.Release(j.ID); err != nil {
+				panic(fmt.Sprintf("sim: release: %v", err))
+			}
+			if j.UserID >= 0 {
+				s.userProcs[j.UserID] -= j.RequestedProcs
+			}
+			s.completed++
+		case 2:
+			s.pending = append(s.pending, s.seq[s.arrivalIdx])
+			s.arrivalIdx++
+		}
+	}
+}
+
+// advanceToNextEvent advances to the earliest pending event (arrival or
+// completion). It reports false when no events remain.
+func (s *Simulator) advanceToNextEvent() bool {
+	t := -1.0
+	if len(s.running) > 0 {
+		t = s.running[0].EndTime
+	}
+	if s.arrivalIdx < len(s.seq) {
+		at := s.seq[s.arrivalIdx].SubmitTime
+		if t < 0 || at < t {
+			t = at
+		}
+	}
+	if t < 0 {
+		return false
+	}
+	s.advanceTo(t)
+	return true
+}
+
+// start allocates and launches a pending job at the current time.
+func (s *Simulator) start(j *job.Job) {
+	nodes, err := s.cluster.Allocate(j.ID, j.RequestedProcs)
+	if err != nil {
+		panic(fmt.Sprintf("sim: start job %d: %v", j.ID, err))
+	}
+	j.Allocated = nodes
+	j.StartTime = s.now
+	j.EndTime = s.now + j.RunTime
+	if j.UserID >= 0 {
+		s.userProcs[j.UserID] += j.RequestedProcs
+	}
+	heap.Push(&s.running, j)
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// Schedule runs the chosen job as soon as possible. If it does not fit now,
+// time advances (completing/admitting jobs); with Backfill enabled, other
+// pending jobs that cannot delay the chosen job's reservation are started
+// meanwhile (EASY backfilling). On return the chosen job has started.
+func (s *Simulator) Schedule(chosen *job.Job) {
+	for !s.canStart(chosen) {
+		if s.cfg.Backfill {
+			if s.cfg.Conservative {
+				s.conservativeBackfill(chosen)
+			} else {
+				s.backfill(chosen)
+			}
+			if s.canStart(chosen) {
+				break
+			}
+		}
+		if !s.advanceToNextEvent() {
+			panic(fmt.Sprintf("sim: job %d (%d procs) can never start", chosen.ID, chosen.RequestedProcs))
+		}
+	}
+	s.start(chosen)
+}
+
+// shadow computes the EASY reservation for the chosen job: the earliest
+// time enough processors will be free — and, when quotas are active, the
+// chosen user's quota headroom suffices — assuming running jobs end at
+// their recorded EndTime. It also returns the processors spare at that
+// instant beyond the reservation ("extra" nodes usable by long backfill
+// candidates).
+func (s *Simulator) shadow(chosen *job.Job) (shadowTime float64, extra int) {
+	free := s.cluster.Free()
+	held := 0
+	if s.cfg.UserQuota > 0 && chosen.UserID >= 0 {
+		held = s.userProcs[chosen.UserID]
+	}
+	quotaOK := func(held int) bool {
+		if s.cfg.UserQuota <= 0 || chosen.UserID < 0 {
+			return true
+		}
+		if chosen.RequestedProcs > s.cfg.UserQuota {
+			return held == 0
+		}
+		return held+chosen.RequestedProcs <= s.cfg.UserQuota
+	}
+	if free >= chosen.RequestedProcs && quotaOK(held) {
+		return s.now, free - chosen.RequestedProcs
+	}
+	ends := append(runHeap(nil), s.running...)
+	heap.Init(&ends)
+	for len(ends) > 0 {
+		j := heap.Pop(&ends).(*job.Job)
+		free += j.RequestedProcs
+		if j.UserID >= 0 && j.UserID == chosen.UserID {
+			held -= j.RequestedProcs
+		}
+		if free >= chosen.RequestedProcs && quotaOK(held) {
+			return j.EndTime, free - chosen.RequestedProcs
+		}
+	}
+	// Unreachable for valid sequences (every job fits an empty cluster).
+	return s.now, 0
+}
+
+// backfill starts every pending job (in FCFS order) that fits the free
+// processors now and cannot delay the chosen job: it either finishes (by
+// its requested time) before the shadow time or uses only the extra
+// processors spare at the shadow time.
+func (s *Simulator) backfill(chosen *job.Job) {
+	shadowTime, extra := s.shadow(chosen)
+	i := 0
+	for i < len(s.pending) {
+		j := s.pending[i]
+		if j == chosen {
+			i++
+			continue
+		}
+		fits := s.canStart(j)
+		endsInTime := s.now+j.RequestedTime <= shadowTime
+		inExtra := j.RequestedProcs <= extra
+		if fits && (endsInTime || inExtra) {
+			if inExtra && !endsInTime {
+				extra -= j.RequestedProcs
+			}
+			s.start(j) // removes pending[i]; do not advance i
+			continue
+		}
+		i++
+	}
+}
+
+// conservativeBackfill walks the pending queue with the chosen job first
+// and the rest in FCFS order, giving every job a reservation in the
+// availability profile (using requested times); jobs whose reservation is
+// "now" start immediately. No job can delay an earlier reservation.
+func (s *Simulator) conservativeBackfill(chosen *job.Job) {
+	prof := newProfile(s.now, s.cluster.Free(), s.running)
+	order := make([]*job.Job, 0, len(s.pending))
+	order = append(order, chosen)
+	for _, j := range s.pending {
+		if j != chosen {
+			order = append(order, j)
+		}
+	}
+	for _, j := range order {
+		start := prof.earliest(s.now, j.RequestedTime, j.RequestedProcs)
+		if start <= s.now && s.canStart(j) && j != chosen {
+			s.start(j)
+			prof.reserve(s.now, j.RequestedTime, j.RequestedProcs)
+			continue
+		}
+		prof.reserve(start, j.RequestedTime, j.RequestedProcs)
+	}
+}
+
+// Run drives the full sequence with the scheduler and returns the result.
+func (s *Simulator) Run(sched Scheduler) (metrics.Result, error) {
+	if len(s.seq) == 0 {
+		return metrics.Result{}, fmt.Errorf("sim: no sequence loaded")
+	}
+	for !s.Done() {
+		if len(s.pending) == 0 {
+			if !s.advanceToNextEvent() {
+				break
+			}
+			continue
+		}
+		visible := s.Visible()
+		idx := sched.Pick(visible, s.now, s.View())
+		if idx < 0 || idx >= len(visible) {
+			idx = 0
+		}
+		s.Schedule(visible[idx])
+	}
+	// Drain remaining completions so utilization covers the full run.
+	for s.advanceToNextEvent() {
+	}
+	return s.result(), nil
+}
+
+// result snapshots metrics after a run.
+func (s *Simulator) result() metrics.Result {
+	start := 0.0
+	if len(s.seq) > 0 {
+		start = s.seq[0].SubmitTime
+	}
+	return metrics.Result{
+		Jobs:        s.seq,
+		Utilization: s.cluster.Utilization(start, s.now),
+	}
+}
+
+// CheckInvariants verifies simulator and cluster consistency (used by
+// property tests).
+func (s *Simulator) CheckInvariants() error {
+	if err := s.cluster.CheckInvariants(); err != nil {
+		return err
+	}
+	started := 0
+	for _, j := range s.seq {
+		if j.Started() {
+			started++
+			if j.StartTime < j.SubmitTime {
+				return fmt.Errorf("sim: job %d started before submission", j.ID)
+			}
+		}
+	}
+	if inFlight := started - s.completed; inFlight != len(s.running) {
+		return fmt.Errorf("sim: %d in flight but %d running", inFlight, len(s.running))
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampling primitives shared by the synthetic workload generators. All take
+// an explicit *rand.Rand so traces are reproducible from a seed.
+
+// expSample draws from an exponential distribution with the given mean.
+func expSample(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * mean
+}
+
+// gammaSample draws from a Gamma(shape, scale) distribution using the
+// Marsaglia–Tsang method (with Johnk-style boosting for shape < 1).
+func gammaSample(rng *rand.Rand, shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// logNormalSample draws from a lognormal distribution with the given
+// arithmetic mean and log-space standard deviation sigma.
+func logNormalSample(rng *rand.Rand, mean, sigma float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	mu := math.Log(mean) - sigma*sigma/2
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+// hyperGamma draws from a two-component gamma mixture: with probability p
+// the (a1, b1) component, otherwise (a2, b2).
+func hyperGamma(rng *rand.Rand, p, a1, b1, a2, b2 float64) float64 {
+	if rng.Float64() < p {
+		return gammaSample(rng, a1, b1)
+	}
+	return gammaSample(rng, a2, b2)
+}
+
+// pow2Sizes lists the powers of two <= maxProcs (always at least {1}).
+func pow2Sizes(maxProcs int) []int {
+	var out []int
+	for p := 1; p <= maxProcs; p *= 2 {
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// pow2Picker samples job sizes from the powers of two <= maxProcs with
+// geometric weights q^k tuned so the distribution mean approximates
+// targetMean. It captures the power-of-two emphasis of real HPC traces.
+type pow2Picker struct {
+	sizes  []int
+	cumul  []float64
+	serial float64 // extra probability mass on size 1
+}
+
+// newPow2Picker solves for the geometric weight by bisection on q.
+func newPow2Picker(maxProcs int, targetMean, serialProb float64) *pow2Picker {
+	sizes := pow2Sizes(maxProcs)
+	meanFor := func(q float64) float64 {
+		var wsum, m float64
+		w := 1.0
+		for _, s := range sizes {
+			wsum += w
+			m += w * float64(s)
+			w *= q
+		}
+		return m / wsum
+	}
+	lo, hi := 1e-6, 8.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if meanFor(mid) < targetMean {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	q := (lo + hi) / 2
+	p := &pow2Picker{sizes: sizes, serial: serialProb}
+	w, sum := 1.0, 0.0
+	for range sizes {
+		sum += w
+		w *= q
+	}
+	w = 1.0
+	acc := 0.0
+	for range sizes {
+		acc += w / sum
+		p.cumul = append(p.cumul, acc)
+		w *= q
+	}
+	return p
+}
+
+func (p *pow2Picker) sample(rng *rand.Rand) int {
+	if p.serial > 0 && rng.Float64() < p.serial {
+		return 1
+	}
+	u := rng.Float64()
+	for i, c := range p.cumul {
+		if u <= c {
+			return p.sizes[i]
+		}
+	}
+	return p.sizes[len(p.sizes)-1]
+}
+
+// zipfWeights returns normalized Zipf(s) weights for n ranks.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// weightedPick samples an index from normalized weights.
+func weightedPick(rng *rand.Rand, weights []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u <= acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// clampInt bounds v to [lo, hi].
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

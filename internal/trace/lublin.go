@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"rlsched/internal/job"
+)
+
+// LublinConfig parameterizes the Lublin–Feitelson rigid-job workload model
+// (Lublin & Feitelson, JPDC 2003), the model the paper uses to generate the
+// Lublin-1 and Lublin-2 synthetic traces. The implementation follows the
+// published model's structure — two-stage log-uniform job sizes with serial
+// and power-of-two emphasis, hyper-gamma runtimes whose mixture probability
+// depends on job size, and gamma inter-arrivals modulated by a daily cycle —
+// and then rescales runtimes/inter-arrivals to hit the requested means so a
+// config can reproduce Table II's `it` and `rt` columns exactly in
+// expectation.
+type LublinConfig struct {
+	// Processors is the cluster size.
+	Processors int
+	// Jobs is the number of jobs to generate.
+	Jobs int
+
+	// SerialProb is the probability of a serial (1-processor) job.
+	SerialProb float64
+	// Pow2Prob is the probability a parallel job size is rounded to a
+	// power of two.
+	Pow2Prob float64
+	// SizeMedFrac positions the break point of the two-stage log-uniform
+	// size distribution as a fraction of log2(Processors). Larger values
+	// shift mass toward bigger jobs.
+	SizeMedFrac float64
+	// SizeLowProb is the probability of drawing from the lower stage.
+	SizeLowProb float64
+
+	// Hyper-gamma runtime parameters (shape/scale of both components).
+	// The mixture probability of the first (short) component decreases
+	// linearly with job size: p = RunPA*size + RunPB, clamped to [0, 1].
+	RunA1, RunB1 float64
+	RunA2, RunB2 float64
+	RunPA, RunPB float64
+
+	// ArrivalShape is the gamma shape of inter-arrival times; DailyCycle
+	// modulates the arrival rate by hour of day when true.
+	ArrivalShape float64
+	DailyCycle   bool
+
+	// TargetMeanInterarrival and TargetMeanRuntime, when positive, rescale
+	// the generated sequences to these means (seconds).
+	TargetMeanInterarrival float64
+	TargetMeanRuntime      float64
+
+	// EstimateFactor inflates runtimes into user estimates; estimates are
+	// additionally jittered. The paper's schedulers only see estimates.
+	EstimateFactor float64
+
+	// Users, when positive, assigns Zipf-distributed user IDs.
+	Users     int
+	UserSkew  float64
+	GroupsPer int
+}
+
+// DefaultLublin returns the model defaults, close to the constants of the
+// published lublin99 generator.
+func DefaultLublin(processors, jobs int) LublinConfig {
+	return LublinConfig{
+		Processors:  processors,
+		Jobs:        jobs,
+		SerialProb:  0.244,
+		Pow2Prob:    0.576,
+		SizeMedFrac: 0.55,
+		SizeLowProb: 0.65,
+		RunA1:       4.2, RunB1: 220,
+		RunA2: 1.1, RunB2: 18000,
+		RunPA: -0.0054, RunPB: 0.78,
+		ArrivalShape:   0.45,
+		DailyCycle:     true,
+		EstimateFactor: 1.6,
+		Users:          32,
+		UserSkew:       1.2,
+		GroupsPer:      4,
+	}
+}
+
+// hourWeight is a smooth daily arrival-intensity cycle peaking in working
+// hours, normalized to mean 1 over 24h.
+func hourWeight(hour float64) float64 {
+	// 0.35 base + bump centered at 14:00.
+	w := 0.35 + 1.3*math.Exp(-((hour-14)*(hour-14))/(2*4.5*4.5))
+	return w
+}
+
+// GenerateLublin synthesizes a trace from the model.
+func GenerateLublin(cfg LublinConfig, rng *rand.Rand) *Trace {
+	if cfg.Jobs <= 0 || cfg.Processors <= 0 {
+		return &Trace{Name: "lublin", Processors: cfg.Processors}
+	}
+	n := cfg.Jobs
+	sizes := make([]int, n)
+	runtimes := make([]float64, n)
+	inter := make([]float64, n)
+
+	maxLog := math.Log2(float64(cfg.Processors))
+	med := cfg.SizeMedFrac * maxLog
+
+	for i := 0; i < n; i++ {
+		// --- size: serial / two-stage log-uniform with pow2 emphasis ---
+		var size int
+		if rng.Float64() < cfg.SerialProb {
+			size = 1
+		} else {
+			var lg float64
+			if rng.Float64() < cfg.SizeLowProb {
+				lg = rng.Float64() * med
+			} else {
+				lg = med + rng.Float64()*(maxLog-med)
+			}
+			if rng.Float64() < cfg.Pow2Prob {
+				size = 1 << uint(math.Round(lg))
+			} else {
+				size = int(math.Round(math.Pow(2, lg)))
+			}
+			size = clampInt(size, 1, cfg.Processors)
+		}
+		sizes[i] = size
+
+		// --- runtime: hyper-gamma, mixture prob depends on size ---
+		p := cfg.RunPA*float64(size) + cfg.RunPB
+		if p < 0.05 {
+			p = 0.05
+		}
+		if p > 0.95 {
+			p = 0.95
+		}
+		rt := hyperGamma(rng, p, cfg.RunA1, cfg.RunB1, cfg.RunA2, cfg.RunB2)
+		if rt < 1 {
+			rt = 1
+		}
+		runtimes[i] = rt
+
+		// --- inter-arrival: gamma; daily cycle applied below ---
+		ia := gammaSample(rng, cfg.ArrivalShape, 1/cfg.ArrivalShape)
+		inter[i] = ia
+	}
+
+	rescale(runtimes, cfg.TargetMeanRuntime)
+	rescale(inter, cfg.TargetMeanInterarrival)
+
+	// Apply the daily cycle by stretching inter-arrivals at night.
+	if cfg.DailyCycle {
+		t := 0.0
+		for i := range inter {
+			hour := math.Mod(t/3600, 24)
+			inter[i] /= hourWeight(hour)
+			t += inter[i]
+		}
+		// Re-normalize so the configured mean still holds.
+		rescale(inter, cfg.TargetMeanInterarrival)
+	}
+
+	var userW []float64
+	if cfg.Users > 0 {
+		userW = zipfWeights(cfg.Users, cfg.UserSkew)
+	}
+
+	jobs := make([]*job.Job, n)
+	t := 0.0
+	ef := cfg.EstimateFactor
+	if ef < 1 {
+		ef = 1
+	}
+	for i := 0; i < n; i++ {
+		t += inter[i]
+		est := runtimes[i] * (ef + rng.Float64()*ef)
+		j := job.New(i+1, t, runtimes[i], sizes[i], est)
+		if cfg.Users > 0 {
+			j.UserID = weightedPick(rng, userW)
+			g := cfg.GroupsPer
+			if g <= 0 {
+				g = 1
+			}
+			j.GroupID = j.UserID % g
+			j.Executable = j.UserID*3 + rng.Intn(3)
+		}
+		j.QueueID = 1
+		j.PartitionID = 1
+		jobs[i] = j
+	}
+	return &Trace{Name: "lublin", Processors: cfg.Processors, Jobs: jobs}
+}
+
+// rescale multiplies xs so its mean equals target (no-op if target <= 0 or
+// the current mean is zero).
+func rescale(xs []float64, target float64) {
+	if target <= 0 || len(xs) == 0 {
+		return
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean <= 0 {
+		return
+	}
+	f := target / mean
+	for i := range xs {
+		xs[i] *= f
+	}
+}

@@ -1,0 +1,162 @@
+package trace
+
+import "math/rand"
+
+// Preset generators for the six evaluation traces of Table II. Each matches
+// the table's cluster size and mean inter-arrival / requested-runtime /
+// processor columns, plus the qualitative behaviour the experiments depend
+// on. Real SWF archive files can be used instead via LoadSWFFile; these
+// presets make the repository self-contained (see DESIGN.md §3).
+//
+//	Name         size   it(s)  rt(s)   nt
+//	SDSC-SP2      128   1055    6687   11
+//	HPC2N         240    538   17024    6
+//	PIK-IPLEX    2560    140   30889   12
+//	ANL Intrepid 163840  301    5176  5063
+//	Lublin-1      256    771    4862   22
+//	Lublin-2      256    460    1695   39
+
+// PresetNames lists the built-in trace names accepted by Preset.
+var PresetNames = []string{"SDSC-SP2", "HPC2N", "PIK-IPLEX", "ANL-Intrepid", "Lublin-1", "Lublin-2"}
+
+// Preset generates the named trace with n jobs from the seed. Unknown names
+// return nil.
+func Preset(name string, n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "SDSC-SP2":
+		return SDSCSP2(n, rng)
+	case "HPC2N":
+		return HPC2N(n, rng)
+	case "PIK-IPLEX":
+		return PIKIPLEX(n, rng)
+	case "ANL-Intrepid":
+		return ANLIntrepid(n, rng)
+	case "Lublin-1":
+		return Lublin1(n, rng)
+	case "Lublin-2":
+		return Lublin2(n, rng)
+	}
+	return nil
+}
+
+// SDSCSP2 resembles the SDSC-SP2 1998 trace: a small 128-node cluster with
+// long jobs and a wide size mix that makes pure SJF pay heavily for
+// starving wide jobs (the paper's Table V shows SJF at 2167 vs RL at 397
+// with backfilling).
+func SDSCSP2(n int, rng *rand.Rand) *Trace {
+	t := GenerateSynth(SynthConfig{
+		Name:             "SDSC-SP2",
+		Processors:       128,
+		Jobs:             n,
+		MeanInterarrival: 1055,
+		Burstiness:       1.5,
+		BurstLen:         10,
+		MeanRuntime:      6687,
+		RuntimeSigma:     1.9,
+		MeanProcs:        11,
+		SerialProb:       0.25,
+		EstimateFactor:   2,
+		Users:            64,
+		UserSkew:         1.1,
+		WideProb:         0.01,
+		WideRuntimeMult:  4,
+	}, rng)
+	return t
+}
+
+// HPC2N resembles the HPC2N 2002 trace: 240 processors, mostly small jobs,
+// very long runtimes, and one dominant user (u17 submitted ~40K of 700-avg
+// jobs in the paper's fairness discussion).
+func HPC2N(n int, rng *rand.Rand) *Trace {
+	return GenerateSynth(SynthConfig{
+		Name:               "HPC2N",
+		Processors:         240,
+		Jobs:               n,
+		MeanInterarrival:   538,
+		Burstiness:         5,
+		BurstLen:           40,
+		MeanRuntime:        17024,
+		RuntimeSigma:       2.1,
+		MeanProcs:          6,
+		SerialProb:         0.4,
+		EstimateFactor:     2,
+		Users:              57,
+		UserSkew:           1.0,
+		DominantUserWeight: 0.5,
+		WideProb:           0.004,
+		WideRuntimeMult:    1,
+	}, rng)
+}
+
+// PIKIPLEX resembles PIK-IPLEX-2009: a 2560-processor IBM iDataPlex with
+// extremely bursty arrivals and heavy-tailed runtimes. This is the trace
+// whose variance breaks PPO without trajectory filtering (Figs 3, 7, 9).
+func PIKIPLEX(n int, rng *rand.Rand) *Trace {
+	return GenerateSynth(SynthConfig{
+		Name:             "PIK-IPLEX",
+		Processors:       2560,
+		Jobs:             n,
+		MeanInterarrival: 140,
+		Burstiness:       6,
+		BurstLen:         40,
+		MeanRuntime:      30889,
+		RuntimeSigma:     2.6,
+		MeanProcs:        12,
+		SerialProb:       0.35,
+		EstimateFactor:   2,
+		Users:            45,
+		UserSkew:         1.2,
+		WideProb:         0.003,
+		WideRuntimeMult:  10,
+	}, rng)
+}
+
+// ANLIntrepid resembles the ANL Intrepid 2009 Blue Gene/P trace: a huge
+// 163840-core machine where even the mean job (~5K cores) is a small
+// fraction of the system, so absolute slowdowns are low (Table VII).
+func ANLIntrepid(n int, rng *rand.Rand) *Trace {
+	return GenerateSynth(SynthConfig{
+		Name:             "ANL-Intrepid",
+		Processors:       163840,
+		Jobs:             n,
+		MeanInterarrival: 301,
+		Burstiness:       0.5,
+		BurstLen:         5,
+		MeanRuntime:      5176,
+		RuntimeSigma:     1.2,
+		MeanProcs:        5063,
+		SerialProb:       0.0,
+		EstimateFactor:   1.8,
+		Users:            30,
+		UserSkew:         1.0,
+	}, rng)
+}
+
+// Lublin1 generates the paper's Lublin-1 trace: the Lublin–Feitelson model
+// on a 256-processor cluster with longer jobs (rt 4862s, nt 22).
+func Lublin1(n int, rng *rand.Rand) *Trace {
+	cfg := DefaultLublin(256, n)
+	cfg.TargetMeanInterarrival = 771
+	cfg.TargetMeanRuntime = 4862
+	cfg.SizeMedFrac = 0.55
+	cfg.SizeLowProb = 0.75
+	t := GenerateLublin(cfg, rng)
+	t.Name = "Lublin-1"
+	return t
+}
+
+// Lublin2 generates the paper's Lublin-2 trace: same model, different
+// parameters — shorter jobs arriving faster and requesting more processors
+// (rt 1695s, nt 39).
+func Lublin2(n int, rng *rand.Rand) *Trace {
+	cfg := DefaultLublin(256, n)
+	cfg.TargetMeanInterarrival = 460
+	cfg.TargetMeanRuntime = 1695
+	cfg.SizeMedFrac = 0.65
+	cfg.SizeLowProb = 0.65
+	cfg.SerialProb = 0.15
+	t := GenerateLublin(cfg, rng)
+	t.Name = "Lublin-2"
+	return t
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"math/rand"
+
+	"rlsched/internal/job"
+)
+
+// SynthConfig drives the generic synthetic trace generator used to stand in
+// for the SWF-archive traces (see DESIGN.md §3). It reproduces the Table II
+// characteristics — cluster size, mean inter-arrival, mean requested
+// runtime, mean requested processors — plus the qualitative features the
+// paper's experiments rely on: burstiness (Fig 3/7), runtime skew, and
+// Zipf-distributed users (fairness, §V-F).
+type SynthConfig struct {
+	Name       string
+	Processors int
+	Jobs       int
+
+	// MeanInterarrival is the target mean arrival interval (seconds).
+	MeanInterarrival float64
+	// Burstiness selects the arrival process: 0 = Poisson; larger values
+	// produce on/off bursts. With burstiness b, a fraction of jobs arrive
+	// in tight bursts (inter-arrival ~ mean/(10*b)) separated by long
+	// gaps, keeping the overall mean at MeanInterarrival.
+	Burstiness float64
+	// BurstLen is the mean number of jobs per burst when bursty.
+	BurstLen int
+
+	// MeanRuntime is the target mean actual runtime (seconds);
+	// RuntimeSigma is the lognormal log-space spread (≈1 for moderate
+	// skew, ≥2 for the heavy tail that makes PIK-IPLEX hard).
+	MeanRuntime  float64
+	RuntimeSigma float64
+
+	// MeanProcs is the target mean requested processors; SerialProb puts
+	// extra mass on 1-processor jobs.
+	MeanProcs  float64
+	SerialProb float64
+
+	// EstimateFactor inflates runtime into the user estimate.
+	EstimateFactor float64
+
+	// Users > 0 assigns Zipf(UserSkew) user IDs. DominantUserWeight > 0
+	// gives rank-0 that extra share (HPC2N's u17-style heavy user).
+	Users              int
+	UserSkew           float64
+	DominantUserWeight float64
+
+	// WideProb is the per-job probability of a near-full-machine long
+	// job (50–95% of the cluster, runtime inflated by WideRuntimeMult,
+	// default 8). Real traces contain these rare monsters; they are what
+	// turns an occasional window into the catastrophic bounded-slowdown
+	// spikes of Fig 3 — everything queues behind them.
+	WideProb        float64
+	WideRuntimeMult float64
+}
+
+// GenerateSynth synthesizes a trace from the config.
+func GenerateSynth(cfg SynthConfig, rng *rand.Rand) *Trace {
+	tr := &Trace{Name: cfg.Name, Processors: cfg.Processors}
+	if cfg.Jobs <= 0 || cfg.Processors <= 0 {
+		return tr
+	}
+	picker := newPow2Picker(cfg.Processors, cfg.MeanProcs, cfg.SerialProb)
+
+	var userW []float64
+	if cfg.Users > 0 {
+		userW = zipfWeights(cfg.Users, cfg.UserSkew)
+		if cfg.DominantUserWeight > 0 {
+			for i := range userW {
+				userW[i] *= 1 - cfg.DominantUserWeight
+			}
+			userW[0] += cfg.DominantUserWeight
+		}
+	}
+
+	inter := make([]float64, cfg.Jobs)
+	if cfg.Burstiness <= 0 {
+		for i := range inter {
+			inter[i] = expSample(rng, cfg.MeanInterarrival)
+		}
+	} else {
+		// On/off arrivals: bursts of ~BurstLen jobs with tiny gaps,
+		// separated by long idle gaps; rescaled to the target mean.
+		burstLen := cfg.BurstLen
+		if burstLen <= 1 {
+			burstLen = 8
+		}
+		tight := cfg.MeanInterarrival / (10 * cfg.Burstiness)
+		inBurst := 0
+		for i := range inter {
+			if inBurst <= 0 {
+				inter[i] = expSample(rng, cfg.MeanInterarrival*float64(burstLen))
+				inBurst = 1 + rng.Intn(2*burstLen)
+			} else {
+				inter[i] = expSample(rng, tight)
+			}
+			inBurst--
+		}
+		rescale(inter, cfg.MeanInterarrival)
+	}
+
+	ef := cfg.EstimateFactor
+	if ef < 1 {
+		ef = 1.5
+	}
+	sigma := cfg.RuntimeSigma
+	if sigma <= 0 {
+		sigma = 1
+	}
+
+	wideMult := cfg.WideRuntimeMult
+	if wideMult <= 0 {
+		wideMult = 8
+	}
+
+	jobs := make([]*job.Job, cfg.Jobs)
+	t := 0.0
+	for i := 0; i < cfg.Jobs; i++ {
+		t += inter[i]
+		rt := logNormalSample(rng, cfg.MeanRuntime, sigma)
+		if rt < 1 {
+			rt = 1
+		}
+		procs := picker.sample(rng)
+		if cfg.WideProb > 0 && rng.Float64() < cfg.WideProb {
+			procs = int(float64(cfg.Processors) * (0.5 + 0.45*rng.Float64()))
+			rt = logNormalSample(rng, cfg.MeanRuntime*wideMult, 1)
+		}
+		est := rt * (1 + rng.Float64()*(ef-1)*2)
+		j := job.New(i+1, t, rt, procs, est)
+		if cfg.Users > 0 {
+			j.UserID = weightedPick(rng, userW)
+			j.GroupID = j.UserID % 4
+			j.Executable = j.UserID*2 + rng.Intn(2)
+		}
+		j.QueueID = 1
+		j.PartitionID = 1
+		jobs[i] = j
+	}
+	tr.Jobs = jobs
+	return tr
+}

@@ -1,0 +1,188 @@
+// Package trace provides job-trace containers, descriptive statistics
+// (Table II of the paper), windowed sampling for training/evaluation, the
+// Lublin–Feitelson synthetic workload model, and preset generators that
+// reproduce the characteristics of the paper's six evaluation traces.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"rlsched/internal/job"
+)
+
+// Trace is an ordered job log for a cluster with a fixed processor count.
+type Trace struct {
+	Name string
+	// Processors is the size of the traced cluster ("size" in Table II).
+	Processors int
+	Jobs       []*job.Job
+}
+
+// Len returns the number of jobs.
+func (t *Trace) Len() int { return len(t.Jobs) }
+
+// Validate checks the trace is usable: positive cluster size, jobs sorted by
+// submit time, and every job fits the cluster.
+func (t *Trace) Validate() error {
+	if t.Processors <= 0 {
+		return fmt.Errorf("trace %s: non-positive processors %d", t.Name, t.Processors)
+	}
+	prev := -1.0
+	for i, j := range t.Jobs {
+		if err := j.Validate(); err != nil {
+			return fmt.Errorf("trace %s: %w", t.Name, err)
+		}
+		if j.SubmitTime < prev {
+			return fmt.Errorf("trace %s: job %d out of submit order", t.Name, i)
+		}
+		prev = j.SubmitTime
+		if j.RequestedProcs > t.Processors {
+			return fmt.Errorf("trace %s: job %d requests %d > %d procs",
+				t.Name, i, j.RequestedProcs, t.Processors)
+		}
+	}
+	return nil
+}
+
+// FirstN returns a trace truncated to its first n jobs (the paper evaluates
+// on the first 10K jobs of each trace). The job slice is shared, not copied.
+func (t *Trace) FirstN(n int) *Trace {
+	if n > len(t.Jobs) {
+		n = len(t.Jobs)
+	}
+	return &Trace{Name: t.Name, Processors: t.Processors, Jobs: t.Jobs[:n]}
+}
+
+// Window returns clones of n continuous jobs starting at index start, with
+// submit times rebased so the first job arrives at time 0 and scheduling
+// state cleared. This is the unit both training trajectories (n=256) and
+// evaluation sequences (n=1024) are built from.
+func (t *Trace) Window(start, n int) []*job.Job {
+	if start < 0 {
+		start = 0
+	}
+	if start+n > len(t.Jobs) {
+		n = len(t.Jobs) - start
+	}
+	if n <= 0 {
+		return nil
+	}
+	base := t.Jobs[start].SubmitTime
+	out := make([]*job.Job, n)
+	for i := 0; i < n; i++ {
+		c := t.Jobs[start+i].Clone()
+		c.SubmitTime -= base
+		out[i] = c
+	}
+	return out
+}
+
+// SampleWindow returns a uniformly random n-job window.
+func (t *Trace) SampleWindow(rng *rand.Rand, n int) []*job.Job {
+	if n >= len(t.Jobs) {
+		return t.Window(0, len(t.Jobs))
+	}
+	start := rng.Intn(len(t.Jobs) - n + 1)
+	return t.Window(start, n)
+}
+
+// Stats summarizes the trace in the form of Table II.
+type Stats struct {
+	Name string
+	// Processors is the cluster size.
+	Processors int
+	Jobs       int
+	// MeanInterarrival is the mean job arrival interval in seconds (it).
+	MeanInterarrival float64
+	// MeanRequestedTime is the mean requested runtime in seconds (rt).
+	MeanRequestedTime float64
+	// MeanRunTime is the mean actual runtime in seconds.
+	MeanRunTime float64
+	// MeanProcs is the mean requested processor count (nt).
+	MeanProcs float64
+	// Users is the number of distinct user IDs (0 when the trace carries
+	// no user information).
+	Users int
+}
+
+// ComputeStats derives Table II statistics from the trace.
+func (t *Trace) ComputeStats() Stats {
+	s := Stats{Name: t.Name, Processors: t.Processors, Jobs: len(t.Jobs)}
+	if len(t.Jobs) == 0 {
+		return s
+	}
+	users := map[int]bool{}
+	var sumRT, sumReq, sumProcs float64
+	for _, j := range t.Jobs {
+		sumRT += j.RunTime
+		sumReq += j.RequestedTime
+		sumProcs += float64(j.RequestedProcs)
+		if j.UserID >= 0 {
+			users[j.UserID] = true
+		}
+	}
+	n := float64(len(t.Jobs))
+	s.MeanRunTime = sumRT / n
+	s.MeanRequestedTime = sumReq / n
+	s.MeanProcs = sumProcs / n
+	s.Users = len(users)
+	if len(t.Jobs) > 1 {
+		span := t.Jobs[len(t.Jobs)-1].SubmitTime - t.Jobs[0].SubmitTime
+		s.MeanInterarrival = span / (n - 1)
+	}
+	return s
+}
+
+// UserIDs returns the sorted distinct user IDs present in the trace.
+func (t *Trace) UserIDs() []int {
+	set := map[int]bool{}
+	for _, j := range t.Jobs {
+		if j.UserID >= 0 {
+			set[j.UserID] = true
+		}
+	}
+	ids := make([]int, 0, len(set))
+	for u := range set {
+		ids = append(ids, u)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// LoadSWF reads a trace from an SWF stream. If the header lacks MaxProcs the
+// largest job request is used as the cluster size.
+func LoadSWF(name string, r io.Reader) (*Trace, error) {
+	hdr, jobs, err := job.ParseSWF(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: name, Processors: hdr.MaxProcs, Jobs: jobs}
+	if t.Processors <= 0 {
+		for _, j := range jobs {
+			if j.RequestedProcs > t.Processors {
+				t.Processors = j.RequestedProcs
+			}
+		}
+	}
+	return t, t.Validate()
+}
+
+// LoadSWFFile reads a trace from an SWF file on disk.
+func LoadSWFFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSWF(path, f)
+}
+
+// WriteSWF writes the trace in Standard Workload Format.
+func (t *Trace) WriteSWF(w io.Writer) error {
+	hdr := job.SWFHeader{MaxProcs: t.Processors, Comments: []string{"Generator: rlsched/internal/trace"}}
+	return job.WriteSWF(w, hdr, t.Jobs)
+}
