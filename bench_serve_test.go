@@ -1,0 +1,97 @@
+package main_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rlsched/internal/nn"
+	"rlsched/internal/serve"
+	"rlsched/internal/sim"
+)
+
+// Serving hot-path benchmarks: single-request decision latency and batched
+// throughput through the full HTTP surface (parser → batcher → policy
+// forward pass → response), the path future PRs must not regress. The
+// decisions/s metric is the headline number of the serving subsystem.
+
+func newBenchServer(b *testing.B, policyName string) *httptest.Server {
+	b.Helper()
+	var cfg serve.Config
+	if policyName != "" {
+		cfg.PolicyName = policyName
+	} else {
+		rng := rand.New(rand.NewSource(5))
+		pol, err := nn.NewPolicy(rng, "kernel", sim.DefaultMaxObserve, sim.JobFeatures)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := serve.NewPolicyEngine(pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Engine = eng
+	}
+	// No batch window: latency benchmarks measure the request itself, not
+	// the coalescing wait.
+	cfg.BatchWindow = time.Nanosecond
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+func benchServeDecide(b *testing.B, policyName string, statesPerReq int) {
+	ts := newBenchServer(b, policyName)
+	states, err := serve.SyntheticStates("Lublin-1", statesPerReq, sim.DefaultMaxObserve, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := serve.EncodeStates(states)
+	client := ts.Client()
+	url := ts.URL + "/v1/decide"
+	buf := make([]byte, 4096)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := resp.Body.Read(buf); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(statesPerReq)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// BenchmarkServeDecide is the single-request latency of one 128-job
+// decision through the kernel policy network.
+func BenchmarkServeDecide(b *testing.B) { benchServeDecide(b, "", 1) }
+
+// BenchmarkServeDecideBatched pipelines 16 queue states per request — the
+// batched-throughput shape the load generator uses.
+func BenchmarkServeDecideBatched(b *testing.B) { benchServeDecide(b, "", 16) }
+
+// BenchmarkServeDecideHeuristic serves SJF instead of the network,
+// isolating the HTTP+parse overhead from the forward pass.
+func BenchmarkServeDecideHeuristic(b *testing.B) { benchServeDecide(b, "SJF", 1) }

@@ -1,0 +1,3 @@
+module rlsched
+
+go 1.24

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+	"sync"
+)
+
+// This file is the serving-time inference fast path. Training goes through
+// the autograd graph (Logits); serving must not: building graph nodes and
+// backward closures per request allocates far too much for a hot decision
+// loop. InferLogits runs the same arithmetic on raw float64 slices with
+// pooled scratch buffers. Weights are only ever read, so any number of
+// goroutines may infer concurrently — the only rule is that no training
+// update may run at the same time (the serving daemon never trains; it
+// swaps whole models atomically instead).
+
+// Inferer is the optional fast path of a PolicyNet: a graph-free,
+// allocation-light forward pass that is safe for concurrent use.
+type Inferer interface {
+	// InferLogits scores a batch of flattened observations
+	// obs[batch, maxObs·feat] into out[batch·maxObs].
+	InferLogits(obs []float64, batch int, out []float64)
+}
+
+// scratchPool recycles the intermediate activation buffers of infer runs.
+var scratchPool = sync.Pool{New: func() interface{} { return new([]float64) }}
+
+func getScratch(n int) *[]float64 {
+	p := scratchPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return p
+}
+
+// infer runs rows x[n, sizes[0]] through the stack without touching the
+// autograd engine, writing the last layer's output to out[n, lastWidth].
+func (m *MLP) infer(x []float64, n int, out []float64) {
+	widest := 0
+	for _, l := range m.Layers {
+		if w := l.W.Shape[1]; w > widest {
+			widest = w
+		}
+	}
+	a := getScratch(n * widest)
+	b := getScratch(n * widest)
+	defer scratchPool.Put(a)
+	defer scratchPool.Put(b)
+
+	src := x
+	dst := *a
+	for li, l := range m.Layers {
+		in, width := l.W.Shape[0], l.W.Shape[1]
+		last := li+1 == len(m.Layers)
+		if last {
+			dst = out
+		}
+		w, bias := l.W.Data, l.B.Data
+		for i := 0; i < n; i++ {
+			xi := src[i*in : (i+1)*in]
+			yi := dst[i*width : (i+1)*width]
+			copy(yi, bias)
+			for k := 0; k < in; k++ {
+				v := xi[k]
+				if v == 0 {
+					continue // ReLU zeros make this skip pay for itself
+				}
+				wk := w[k*width : (k+1)*width]
+				for j, wv := range wk {
+					yi[j] += v * wv
+				}
+			}
+			if !last {
+				applyActInPlace(m.Act, yi)
+			}
+		}
+		if !last {
+			src = dst
+			if li%2 == 0 {
+				dst = *b
+			} else {
+				dst = *a
+			}
+		}
+	}
+}
+
+func applyActInPlace(act Activation, v []float64) {
+	switch act {
+	case ActReLU:
+		for i, x := range v {
+			if x < 0 {
+				v[i] = 0
+			}
+		}
+	case ActTanh:
+		for i, x := range v {
+			v[i] = math.Tanh(x)
+		}
+	}
+}
+
+// InferLogits implements Inferer: the kernel network's reshape trick means
+// the batch is just batch·maxObs independent rows through the shared MLP.
+func (k *KernelNet) InferLogits(obs []float64, batch int, out []float64) {
+	if len(obs) != batch*k.maxObs*k.feat || len(out) != batch*k.maxObs {
+		panic("nn: InferLogits buffer sizes do not match network dims")
+	}
+	k.mlp.infer(obs, batch*k.maxObs, out)
+}
+
+// InferLogits implements Inferer for the order-sensitive MLP baselines.
+func (m *MLPPolicy) InferLogits(obs []float64, batch int, out []float64) {
+	if len(obs) != batch*m.maxObs*m.feat || len(out) != batch*m.maxObs {
+		panic("nn: InferLogits buffer sizes do not match network dims")
+	}
+	m.mlp.infer(obs, batch, out)
+}

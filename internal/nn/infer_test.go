@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	ag "rlsched/internal/autograd"
+)
+
+// inferParity checks the graph-free fast path against the autograd forward
+// pass on random observations.
+func inferParity(t *testing.T, net PolicyNet, batch int) {
+	t.Helper()
+	inf, ok := net.(Inferer)
+	if !ok {
+		t.Fatalf("%s does not implement Inferer", net.Kind())
+	}
+	maxObs, feat := net.Dims()
+	rng := rand.New(rand.NewSource(7))
+	obs := make([]float64, batch*maxObs*feat)
+	for i := range obs {
+		obs[i] = rng.Float64()
+	}
+	want := net.Logits(ag.FromSlice(obs, batch, maxObs*feat)).Data
+	got := make([]float64, batch*maxObs)
+	inf.InferLogits(obs, batch, got)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("%s logit %d: fast=%g autograd=%g", net.Kind(), i, got[i], want[i])
+		}
+	}
+}
+
+func TestInferLogitsMatchesAutograd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, batch := range []int{1, 3, 16} {
+		inferParity(t, NewKernelNet(rng, 24, 7, nil), batch)
+		inferParity(t, NewMLPPolicy(rng, 24, 7, "mlp-v2"), batch)
+	}
+}
+
+func TestInferLogitsConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewKernelNet(rng, 16, 7, nil)
+	obs := make([]float64, 16*7)
+	for i := range obs {
+		obs[i] = rng.Float64()
+	}
+	want := make([]float64, 16)
+	net.InferLogits(obs, 1, want)
+
+	// Many goroutines infer on shared weights; run with -race to prove
+	// the serving path is data-race-free.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]float64, 16)
+			for i := 0; i < 200; i++ {
+				net.InferLogits(obs, 1, out)
+				for j := range out {
+					if out[j] != want[j] {
+						t.Errorf("concurrent inference diverged at %d", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMaterializePolicyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pol := NewKernelNet(rng, 16, 7, nil)
+	val := NewValueNet(rng, 16, 7, nil)
+	snap := Snap(pol, val, nil)
+
+	got, err := snap.MaterializePolicy(rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]float64, 16*7)
+	for i := range obs {
+		obs[i] = rng.Float64()
+	}
+	a := pol.Logits(ag.FromSlice(obs, 1, len(obs))).Data
+	b := got.Logits(ag.FromSlice(obs, 1, len(obs))).Data
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("logit %d differs after MaterializePolicy: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

@@ -87,6 +87,19 @@ func (s *Snapshot) Materialize(rng *rand.Rand) (PolicyNet, *ValueNet, error) {
 	return policy, value, nil
 }
 
+// MaterializePolicy rebuilds only the policy network from the snapshot —
+// the serving path has no use for the critic and skips restoring it.
+func (s *Snapshot) MaterializePolicy(rng *rand.Rand) (PolicyNet, error) {
+	policy, err := NewPolicy(rng, s.PolicyKind, s.MaxObs, s.Features)
+	if err != nil {
+		return nil, err
+	}
+	if err := restore(policy, s.Policy); err != nil {
+		return nil, err
+	}
+	return policy, nil
+}
+
 // Write encodes the snapshot as JSON.
 func (s *Snapshot) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -126,9 +126,26 @@ func Heuristics() []*Priority {
 	return []*Priority{FCFS(), WFP3(), UNICEP(), SJF(), F1()}
 }
 
+// Serveable returns every stateless heuristic — the set the online
+// decision service can expose. Random is excluded: its closure shares one
+// RNG, which is not safe for concurrent scoring.
+func Serveable() []*Priority {
+	return []*Priority{FCFS(), WFP3(), UNICEP(), SJF(), F1(), SAF(), LJF()}
+}
+
+// Names lists the serveable heuristic names.
+func Names() []string {
+	hs := Serveable()
+	names := make([]string, len(hs))
+	for i, h := range hs {
+		names[i] = h.Name
+	}
+	return names
+}
+
 // ByName returns the named heuristic, or nil.
 func ByName(name string) *Priority {
-	for _, h := range Heuristics() {
+	for _, h := range Serveable() {
 		if h.Name == name {
 			return h
 		}

@@ -166,3 +166,23 @@ func TestEndToEndRanking(t *testing.T) {
 		}
 	}
 }
+
+func TestServeableNamesAndByName(t *testing.T) {
+	names := Names()
+	if len(names) != len(Serveable()) {
+		t.Fatalf("Names has %d entries, Serveable %d", len(names), len(Serveable()))
+	}
+	for _, want := range []string{"FCFS", "WFP3", "UNICEP", "SJF", "F1", "SAF", "LJF"} {
+		h := ByName(want)
+		if h == nil || h.Name != want {
+			t.Fatalf("ByName(%q) = %v", want, h)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Fatal("ByName should return nil for unknown names")
+	}
+	// The Table III comparison set is unchanged by the serveable superset.
+	if got := len(Heuristics()); got != 5 {
+		t.Fatalf("Heuristics() has %d entries, want 5", got)
+	}
+}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// group is one submitted unit of work: all queue states of one HTTP
+// request, answered together. Grouping whole requests (instead of one
+// channel hop per state) keeps the per-decision synchronization cost
+// constant under pipelined load.
+type group struct {
+	states []*QueueState
+	out    []Decision
+	policy string // name of the engine that decided the group
+	done   chan struct{}
+}
+
+// engineBox makes the Engine interface value swappable via atomic.Pointer.
+type engineBox struct{ e Engine }
+
+// Batcher coalesces concurrent decision requests into batched engine
+// calls. A fixed pool of workers pulls groups off one queue; each worker
+// greedily drains whatever is queued (up to MaxBatch states) into a single
+// DecideBatch call, and only when it holds a lone group does it wait up to
+// Window for company. Under load batches fill with zero added latency;
+// when idle the window bounds the wait.
+type Batcher struct {
+	queue    chan *group
+	quit     chan struct{}
+	window   time.Duration
+	maxBatch int
+	engine   atomic.Pointer[engineBox]
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// decisions and batches feed the /metrics histograms.
+	onBatch func(states int)
+}
+
+// BatcherConfig sizes a Batcher. Zero values take defaults: workers =
+// GOMAXPROCS, window = 200µs, maxBatch = 64 states.
+type BatcherConfig struct {
+	Workers  int
+	Window   time.Duration
+	MaxBatch int
+	// OnBatch, when set, observes every engine call's batch size.
+	OnBatch func(states int)
+}
+
+// NewBatcher starts the worker pool serving the given engine.
+func NewBatcher(e Engine, cfg BatcherConfig) *Batcher {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 200 * time.Microsecond
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	b := &Batcher{
+		queue:    make(chan *group, 4*cfg.MaxBatch),
+		quit:     make(chan struct{}),
+		window:   cfg.Window,
+		maxBatch: cfg.MaxBatch,
+		onBatch:  cfg.OnBatch,
+	}
+	b.engine.Store(&engineBox{e})
+	b.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go b.worker()
+	}
+	return b
+}
+
+// Engine returns the currently served engine.
+func (b *Batcher) Engine() Engine { return b.engine.Load().e }
+
+// Swap atomically replaces the engine. In-flight batches finish on the
+// engine they started with; queued and future work uses the new one. No
+// request is dropped.
+func (b *Batcher) Swap(e Engine) { b.engine.Store(&engineBox{e}) }
+
+// Close stops the workers after draining whatever is queued. The queue
+// channel is never closed, so a handler racing Close (e.g. when an HTTP
+// graceful-shutdown deadline expires with requests still in flight) gets
+// an error instead of a send-on-closed-channel panic.
+func (b *Batcher) Close() {
+	if b.closed.CompareAndSwap(false, true) {
+		close(b.quit)
+		b.wg.Wait()
+	}
+}
+
+// Decide answers all states of one request, blocking until the batcher has
+// run them (or ctx expires, leaving the work to be discarded when served).
+// It also returns the name of the engine that decided the request, which
+// during a hot-swap window can differ from the currently served engine.
+func (b *Batcher) Decide(ctx context.Context, states []*QueueState) ([]Decision, string, error) {
+	if len(states) == 0 {
+		return nil, "", nil
+	}
+	if b.closed.Load() {
+		return nil, "", fmt.Errorf("serve: batcher is shut down")
+	}
+	g := &group{states: states, out: make([]Decision, len(states)), done: make(chan struct{})}
+	select {
+	case b.queue <- g:
+	case <-b.quit:
+		return nil, "", fmt.Errorf("serve: batcher is shut down")
+	case <-ctx.Done():
+		return nil, "", fmt.Errorf("serve: queue full: %w", ctx.Err())
+	}
+	select {
+	case <-g.done:
+		return g.out, g.policy, nil
+	case <-b.quit:
+		// Workers may already be gone; don't wait on abandoned work.
+		select {
+		case <-g.done:
+			return g.out, g.policy, nil
+		default:
+			return nil, "", fmt.Errorf("serve: batcher is shut down")
+		}
+	case <-ctx.Done():
+		return nil, "", ctx.Err()
+	}
+}
+
+// worker is the batching loop.
+func (b *Batcher) worker() {
+	defer b.wg.Done()
+	var (
+		groups []*group
+		states []*QueueState
+		out    []Decision
+		timer  = time.NewTimer(time.Hour)
+	)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	runBatch := func(groups []*group) {
+		states = states[:0]
+		for _, g := range groups {
+			states = append(states, g.states...)
+		}
+		if cap(out) < len(states) {
+			out = make([]Decision, len(states))
+		}
+		out = out[:len(states)]
+		eng := b.engine.Load().e
+		eng.DecideBatch(states, out)
+		if b.onBatch != nil {
+			b.onBatch(len(states))
+		}
+		i := 0
+		for _, g := range groups {
+			copy(g.out, out[i:i+len(g.states)])
+			g.policy = eng.Name()
+			i += len(g.states)
+			close(g.done)
+		}
+	}
+
+	for {
+		var first *group
+		select {
+		case first = <-b.queue:
+		case <-b.quit:
+			// Drain and answer whatever made it into the queue.
+			for {
+				select {
+				case g := <-b.queue:
+					runBatch(append(groups[:0], g))
+				default:
+					return
+				}
+			}
+		}
+		groups = append(groups[:0], first)
+		n := len(first.states)
+
+		// Greedy, non-blocking drain of everything already queued.
+	drain:
+		for n < b.maxBatch {
+			select {
+			case g := <-b.queue:
+				groups = append(groups, g)
+				n += len(g.states)
+			default:
+				break drain
+			}
+		}
+		// A lone small group waits up to the window for company once.
+		if len(groups) == 1 && n < b.maxBatch && b.window > 0 {
+			timer.Reset(b.window)
+		wait:
+			for n < b.maxBatch {
+				select {
+				case g := <-b.queue:
+					groups = append(groups, g)
+					n += len(g.states)
+				case <-timer.C:
+					break wait
+				case <-b.quit:
+					break wait
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		runBatch(groups)
+	}
+}

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+
+	"rlsched/internal/job"
+	"rlsched/internal/sim"
+)
+
+// The fast parser handles the canonical compact request emitted by the
+// load generator and other high-rate clients: objects with the documented
+// keys, numbers, booleans, and jobs as arrays of numbers. Anything else —
+// string values, escapes, object job rows, unknown keys — makes it bail
+// with an error and the caller retries with encoding/json. Bailing is
+// cheap (no allocation happens before the first incompatibility), so the
+// fallback costs nothing on the slow path and the fast path skips all of
+// encoding/json's reflection.
+
+var errFastParse = fmt.Errorf("serve: not a canonical compact request")
+
+type fastParser struct {
+	b []byte
+	i int
+}
+
+func (p *fastParser) ws() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *fastParser) eat(c byte) bool {
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *fastParser) peek() byte {
+	p.ws()
+	if p.i < len(p.b) {
+		return p.b[p.i]
+	}
+	return 0
+}
+
+// key parses a JSON object key (no escapes) and its colon.
+func (p *fastParser) key() (string, bool) {
+	if !p.eat('"') {
+		return "", false
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c == '\\' {
+			return "", false
+		}
+		if c == '"' {
+			k := string(p.b[start:p.i])
+			p.i++
+			if !p.eat(':') {
+				return "", false
+			}
+			return k, true
+		}
+		p.i++
+	}
+	return "", false
+}
+
+func (p *fastParser) number() (float64, bool) {
+	p.ws()
+	start := p.i
+	intOnly := true
+	for p.i < len(p.b) {
+		switch c := p.b[p.i]; {
+		case c >= '0' && c <= '9':
+			p.i++
+		case c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			if c != '-' || p.i != start {
+				intOnly = false
+			}
+			p.i++
+		default:
+			goto done
+		}
+	}
+done:
+	if p.i == start {
+		return 0, false
+	}
+	// Integer tokens (the overwhelmingly common case: SWF times are whole
+	// seconds) skip strconv entirely.
+	if intOnly && p.i-start <= 15 {
+		s := p.b[start:p.i]
+		neg := false
+		if s[0] == '-' {
+			neg = true
+			s = s[1:]
+		}
+		if len(s) == 0 {
+			return 0, false
+		}
+		n := 0.0
+		for _, c := range s {
+			n = n*10 + float64(c-'0')
+		}
+		if neg {
+			n = -n
+		}
+		return n, true
+	}
+	v, err := strconv.ParseFloat(string(p.b[start:p.i]), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func (p *fastParser) boolean() (bool, bool) {
+	p.ws()
+	if len(p.b)-p.i >= 4 && string(p.b[p.i:p.i+4]) == "true" {
+		p.i += 4
+		return true, true
+	}
+	if len(p.b)-p.i >= 5 && string(p.b[p.i:p.i+5]) == "false" {
+		p.i += 5
+		return false, true
+	}
+	return false, false
+}
+
+// jobRows parses [[...],[...],...] into the arena, returning the covered
+// arena range.
+func (p *fastParser) jobRows(rb *reqBuf) (int, int, bool) {
+	start := len(rb.arena)
+	if !p.eat('[') {
+		return 0, 0, false
+	}
+	if p.eat(']') {
+		return start, start, true
+	}
+	var row [5]float64
+	for {
+		if !p.eat('[') {
+			return 0, 0, false
+		}
+		n := 0
+		for {
+			v, ok := p.number()
+			if !ok || n == len(row) {
+				return 0, 0, false
+			}
+			row[n] = v
+			n++
+			if p.eat(']') {
+				break
+			}
+			if !p.eat(',') {
+				return 0, 0, false
+			}
+		}
+		if n < 3 {
+			return 0, 0, false
+		}
+		j := job.Job{
+			SubmitTime:     row[0],
+			RequestedTime:  row[1],
+			RequestedProcs: int(row[2]),
+			UserID:         -1,
+			StartTime:      -1,
+			EndTime:        -1,
+		}
+		if n > 3 {
+			j.UserID = int(row[3])
+		}
+		if n > 4 {
+			j.ID = int(row[4])
+		}
+		rb.arena = append(rb.arena, j)
+		if p.eat(']') {
+			break
+		}
+		if !p.eat(',') {
+			return 0, 0, false
+		}
+	}
+	return start, len(rb.arena), true
+}
+
+// state parses one {...} queue state into the arena/state lists.
+func (p *fastParser) state(rb *reqBuf) bool {
+	if !p.eat('{') {
+		return false
+	}
+	var st QueueState
+	start, end := len(rb.arena), len(rb.arena)
+	if p.eat('}') {
+		rb.addState(st, start, end)
+		return true
+	}
+	for {
+		k, ok := p.key()
+		if !ok {
+			return false
+		}
+		switch k {
+		case "now":
+			v, ok := p.number()
+			if !ok {
+				return false
+			}
+			st.Now = v
+		case "free_procs":
+			v, ok := p.number()
+			if !ok {
+				return false
+			}
+			st.View.FreeProcs = int(v)
+		case "total_procs":
+			v, ok := p.number()
+			if !ok {
+				return false
+			}
+			st.View.TotalProcs = int(v)
+		case "queue_len":
+			v, ok := p.number()
+			if !ok {
+				return false
+			}
+			st.QueueLen = int(v)
+		case "scores":
+			v, ok := p.boolean()
+			if !ok {
+				return false
+			}
+			st.WantScores = v
+		case "jobs":
+			s, e, ok := p.jobRows(rb)
+			if !ok {
+				return false
+			}
+			start, end = s, e
+		default:
+			return false
+		}
+		if p.eat('}') {
+			break
+		}
+		if !p.eat(',') {
+			return false
+		}
+	}
+	rb.addState(st, start, end)
+	return true
+}
+
+// parseFast attempts the canonical compact parse of a full request body.
+func (rb *reqBuf) parseFast(body []byte) error {
+	p := &fastParser{b: body}
+	if !p.eat('{') {
+		return errFastParse
+	}
+	// Batch form: {"states":[{...},...]}
+	if k, ok := p.key(); ok && k == "states" {
+		if !p.eat('[') {
+			return errFastParse
+		}
+		rb.batch = true
+		for {
+			if !p.state(rb) {
+				return rb.bail()
+			}
+			if p.eat(']') {
+				break
+			}
+			if !p.eat(',') {
+				return rb.bail()
+			}
+		}
+		if !p.eat('}') {
+			return rb.bail()
+		}
+		if p.ws(); p.i != len(p.b) {
+			return rb.bail()
+		}
+		return nil
+	}
+	// Single-state form: rewind and parse the whole object as a state.
+	p.i = 0
+	rb.batch = false
+	if !p.state(rb) {
+		return rb.bail()
+	}
+	if p.ws(); p.i != len(p.b) {
+		return rb.bail()
+	}
+	return nil
+}
+
+// bail resets partially parsed request state before the slow-path retry.
+func (rb *reqBuf) bail() error {
+	rb.arena = rb.arena[:0]
+	rb.states = rb.states[:0]
+	rb.ranges = rb.ranges[:0]
+	rb.batch = false
+	return errFastParse
+}
+
+// ClusterViewOf is a tiny helper for tests constructing states.
+func ClusterViewOf(free, total int) sim.ClusterView {
+	return sim.ClusterView{FreeProcs: free, TotalProcs: total}
+}

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlsched/internal/trace"
+)
+
+// LoadConfig drives the load generator: Conns concurrent clients hammer
+// Addr's /v1/decide with synthetic queue states sampled from a preset
+// trace, for Duration, and the achieved decisions/sec is reported.
+type LoadConfig struct {
+	// Addr is the daemon base URL, e.g. "http://127.0.0.1:9090".
+	Addr string
+	// Conns is the number of concurrent connections (default 4).
+	Conns int
+	// Duration is the measurement window (default 5s).
+	Duration time.Duration
+	// Preset names the trace the queue states are sampled from (default
+	// Lublin-1). QueueJobs is the pending-queue size per state (default
+	// 128, the paper's MAX_OBSV_SIZE).
+	Preset    string
+	QueueJobs int
+	// StatesPerReq pipelines several queue states per HTTP request
+	// (default 1). Each state is still one decision.
+	StatesPerReq int
+	// Bodies is the number of distinct pre-encoded request bodies cycled
+	// through (default 64).
+	Bodies int
+	Seed   int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Preset == "" {
+		c.Preset = "Lublin-1"
+	}
+	if c.QueueJobs <= 0 {
+		c.QueueJobs = 128
+	}
+	if c.StatesPerReq <= 0 {
+		c.StatesPerReq = 1
+	}
+	if c.Bodies <= 0 {
+		c.Bodies = 64
+	}
+	return c
+}
+
+// LoadReport is the load generator's result.
+type LoadReport struct {
+	Requests  uint64
+	Decisions uint64
+	Errors    uint64
+	Elapsed   time.Duration
+	// DecisionsPerSec is the headline throughput number.
+	DecisionsPerSec float64
+	// P50/P95/P99 are request-latency quantile upper bounds.
+	P50, P95, P99 time.Duration
+	Latency       *Histogram
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf("requests=%d decisions=%d errors=%d elapsed=%.2fs rate=%.0f decisions/s p50=%v p95=%v p99=%v",
+		r.Requests, r.Decisions, r.Errors, r.Elapsed.Seconds(),
+		r.DecisionsPerSec, r.P50, r.P95, r.P99)
+}
+
+// EncodeStates renders queue states in the canonical compact wire format
+// the daemon's fast parser consumes.
+func EncodeStates(states []*QueueState) []byte {
+	var b []byte
+	if len(states) == 1 {
+		return appendState(b, states[0])
+	}
+	b = append(b, `{"states":[`...)
+	for i, st := range states {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendState(b, st)
+	}
+	return append(b, ']', '}')
+}
+
+func appendState(b []byte, st *QueueState) []byte {
+	b = append(b, `{"now":`...)
+	b = strconv.AppendFloat(b, st.Now, 'g', -1, 64)
+	b = append(b, `,"free_procs":`...)
+	b = strconv.AppendInt(b, int64(st.View.FreeProcs), 10)
+	b = append(b, `,"total_procs":`...)
+	b = strconv.AppendInt(b, int64(st.View.TotalProcs), 10)
+	if st.QueueLen > 0 {
+		b = append(b, `,"queue_len":`...)
+		b = strconv.AppendInt(b, int64(st.QueueLen), 10)
+	}
+	if st.WantScores {
+		b = append(b, `,"scores":true`...)
+	}
+	b = append(b, `,"jobs":[`...)
+	for i, j := range st.Jobs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '[')
+		b = strconv.AppendFloat(b, j.SubmitTime, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, j.RequestedTime, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(j.RequestedProcs), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(j.UserID), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(j.ID), 10)
+		b = append(b, ']')
+	}
+	return append(b, ']', '}')
+}
+
+// SyntheticStates samples n queue states of queueJobs pending jobs each
+// from the preset trace, with a plausible cluster view: free processors
+// drawn uniformly and now = 0 (job submit times are in the past).
+func SyntheticStates(preset string, n, queueJobs int, seed int64) ([]*QueueState, error) {
+	tr := trace.Preset(preset, 4*queueJobs+n, seed)
+	if tr == nil {
+		return nil, fmt.Errorf("serve: unknown preset %q", preset)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	states := make([]*QueueState, n)
+	for i := range states {
+		jobs := tr.SampleQueue(rng, queueJobs)
+		for _, j := range jobs {
+			// Clamp requests to the cluster so states stay schedulable,
+			// and round times to whole seconds (SWF precision) — shorter
+			// wire numbers parse measurably faster at 10k states/sec.
+			if j.RequestedProcs > tr.Processors {
+				j.RequestedProcs = tr.Processors
+			}
+			j.SubmitTime = math.Round(j.SubmitTime)
+			j.RequestedTime = math.Max(1, math.Round(j.RequestedTime))
+		}
+		states[i] = &QueueState{
+			Jobs:     jobs,
+			Now:      0,
+			View:     ClusterViewOf(rng.Intn(tr.Processors+1), tr.Processors),
+			QueueLen: queueJobs + rng.Intn(queueJobs),
+		}
+	}
+	return states, nil
+}
+
+// RunLoad hammers the daemon and reports achieved throughput. The request
+// bodies are pre-encoded once so the generator spends its cycles on the
+// HTTP path, not on JSON encoding — on a shared CI core the generator
+// competes with the daemon for CPU.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	states, err := SyntheticStates(cfg.Preset, cfg.Bodies*cfg.StatesPerReq, cfg.QueueJobs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, cfg.Bodies)
+	for i := range bodies {
+		bodies[i] = EncodeStates(states[i*cfg.StatesPerReq : (i+1)*cfg.StatesPerReq])
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Conns,
+		MaxIdleConnsPerHost: cfg.Conns,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	url := cfg.Addr + "/v1/decide"
+
+	// Warm up connections and verify the daemon answers at all.
+	if err := postOnce(client, url, bodies[0]); err != nil {
+		return nil, fmt.Errorf("serve: daemon not answering: %w", err)
+	}
+
+	report := &LoadReport{Latency: newLoadHistogram()}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			for i := w; !stop.Load(); i++ {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					atomic.AddUint64(&report.Errors, 1)
+					continue
+				}
+				discard(resp.Body, buf)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					atomic.AddUint64(&report.Errors, 1)
+					continue
+				}
+				report.Latency.ObserveDuration(time.Since(t0))
+				atomic.AddUint64(&report.Requests, 1)
+				atomic.AddUint64(&report.Decisions, uint64(cfg.StatesPerReq))
+			}
+		}(w)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	report.DecisionsPerSec = float64(report.Decisions) / report.Elapsed.Seconds()
+	report.P50 = quantileDuration(report.Latency, 0.50)
+	report.P95 = quantileDuration(report.Latency, 0.95)
+	report.P99 = quantileDuration(report.Latency, 0.99)
+	return report, nil
+}
+
+// quantileDuration converts a histogram quantile to a duration, clamping
+// the +Inf overflow bucket to the top bound (the report then understates
+// a truly pathological tail instead of printing a negative duration).
+func quantileDuration(h *Histogram, q float64) time.Duration {
+	v := h.Quantile(q)
+	if math.IsInf(v, 1) {
+		v = h.bounds[len(h.bounds)-1]
+	}
+	return time.Duration(v * float64(time.Second))
+}
+
+func newLoadHistogram() *Histogram {
+	h := &Histogram{bounds: []float64{
+		100e-6, 200e-6, 500e-6, 1e-3, 2e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1, 5,
+	}}
+	h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+	return h
+}
+
+func postOnce(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(out))
+	}
+	return nil
+}
+
+func discard(r io.Reader, buf []byte) {
+	for {
+		if _, err := r.Read(buf); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's instrumentation: decision-latency and batch-size
+// histograms plus monotonic counters, exposed in Prometheus text format.
+// Everything is lock-free atomics so the hot path never serializes on a
+// metrics mutex.
+type Metrics struct {
+	RequestsTotal  atomic.Uint64 // HTTP decision requests served
+	DecisionsTotal atomic.Uint64 // queue states decided
+	ErrorsTotal    atomic.Uint64 // rejected/failed decision requests
+	ReloadsTotal   atomic.Uint64 // successful engine swaps
+
+	Latency   Histogram // per-request decision latency (seconds)
+	BatchSize Histogram // states per engine forward pass
+}
+
+// NewMetrics returns a registry with latency buckets spanning 50µs–1s and
+// power-of-two batch-size buckets.
+func NewMetrics() *Metrics {
+	m := &Metrics{}
+	m.Latency.bounds = []float64{
+		50e-6, 100e-6, 200e-6, 500e-6,
+		1e-3, 2e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1,
+	}
+	m.Latency.counts = make([]atomic.Uint64, len(m.Latency.bounds)+1)
+	m.BatchSize.bounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	m.BatchSize.counts = make([]atomic.Uint64, len(m.BatchSize.bounds)+1)
+	return m
+}
+
+// Histogram is a fixed-bucket, lock-free histogram. The sum is a float64
+// carried in uint64 bits under a CAS loop (the Prometheus client's trick),
+// so it neither loses sub-second precision nor wraps on long-running
+// daemons the way fixed-point integer sums do.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a latency in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile returns an upper-bound estimate of the q-quantile from the
+// bucket counts (the smallest bucket bound covering q of the mass).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// writeProm emits the histogram in Prometheus text format.
+func (h *Histogram) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WriteProm emits every metric in Prometheus text format. policy labels
+// the currently served engine.
+func (m *Metrics) WriteProm(w io.Writer, policy string) {
+	fmt.Fprintf(w, "# TYPE rlserv_model_info gauge\nrlserv_model_info{policy=%q} 1\n", policy)
+	fmt.Fprintf(w, "# TYPE rlserv_requests_total counter\nrlserv_requests_total %d\n", m.RequestsTotal.Load())
+	fmt.Fprintf(w, "# TYPE rlserv_decisions_total counter\nrlserv_decisions_total %d\n", m.DecisionsTotal.Load())
+	fmt.Fprintf(w, "# TYPE rlserv_errors_total counter\nrlserv_errors_total %d\n", m.ErrorsTotal.Load())
+	fmt.Fprintf(w, "# TYPE rlserv_reloads_total counter\nrlserv_reloads_total %d\n", m.ReloadsTotal.Load())
+	m.Latency.writeProm(w, "rlserv_decision_latency_seconds")
+	m.BatchSize.writeProm(w, "rlserv_batch_size")
+}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Engine is the initially served policy. Alternatively leave nil and
+	// set ModelPath/PolicyName for LoadEngine.
+	Engine Engine
+	// ModelPath / PolicyName are the LoadEngine inputs. ModelPath is also
+	// what a bare POST /reload re-reads, the "retrain in place, reload in
+	// place" workflow.
+	ModelPath  string
+	PolicyName string
+	// Batcher sizing (zero values take BatcherConfig defaults).
+	Workers     int
+	BatchWindow time.Duration
+	MaxBatch    int
+	// MaxBodyBytes caps decision request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxStatesPerRequest caps the queue states one request may carry
+	// (default 1024) — without it a single tiny-job batch request could
+	// force an unboundedly large forward pass.
+	MaxStatesPerRequest int
+}
+
+// Server is the decision service: an Engine behind a Batcher behind an
+// http.Handler. Create with NewServer, mount Handler, Close when done.
+type Server struct {
+	batcher   *Batcher
+	metrics   *Metrics
+	mux       *http.ServeMux
+	modelPath string
+	maxBody   int64
+	maxStates int
+	reloadMu  sync.Mutex // serializes /reload (swap itself is atomic)
+}
+
+// NewServer builds the service and starts its worker pool.
+func NewServer(cfg Config) (*Server, error) {
+	eng := cfg.Engine
+	if eng == nil {
+		var err error
+		eng, err = LoadEngine(cfg.ModelPath, cfg.PolicyName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		metrics:   NewMetrics(),
+		mux:       http.NewServeMux(),
+		modelPath: cfg.ModelPath,
+		maxBody:   cfg.MaxBodyBytes,
+		maxStates: cfg.MaxStatesPerRequest,
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 8 << 20
+	}
+	if s.maxStates <= 0 {
+		s.maxStates = 1024
+	}
+	s.batcher = NewBatcher(eng, BatcherConfig{
+		Workers:  cfg.Workers,
+		Window:   cfg.BatchWindow,
+		MaxBatch: cfg.MaxBatch,
+		OnBatch:  func(states int) { s.metrics.BatchSize.Observe(float64(states)) },
+	})
+	s.mux.HandleFunc("/v1/decide", s.handleDecide)
+	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the HTTP surface of the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the currently served engine.
+func (s *Server) Engine() Engine { return s.batcher.Engine() }
+
+// Metrics exposes the instrumentation registry (read-only use intended).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains and stops the batcher workers.
+func (s *Server) Close() { s.batcher.Close() }
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST only"))
+		return
+	}
+	start := time.Now()
+	rb := reqBufPool.Get().(*reqBuf)
+	// A request abandoned mid-queue (client gone) may still be read by a
+	// batcher worker later; such buffers must not be recycled.
+	defer func() {
+		if rb != nil {
+			reqBufPool.Put(rb)
+		}
+	}()
+	rb.reset()
+
+	body, err := readAllInto(rb.body[:0], io.LimitReader(r.Body, s.maxBody+1))
+	rb.body = body
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if int64(len(body)) > s.maxBody {
+		s.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: body over %d bytes", s.maxBody))
+		return
+	}
+	if err := rb.parseRequest(body); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := rb.validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(rb.states) > s.maxStates {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("serve: request carries %d states, limit %d", len(rb.states), s.maxStates))
+		return
+	}
+	states := rb.finalize()
+	decs, policy, err := s.batcher.Decide(r.Context(), states)
+	if err != nil {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		rb = nil
+		return
+	}
+	rb.resp = rb.appendResponse(rb.resp[:0], decs, policy)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(rb.resp)
+
+	s.metrics.RequestsTotal.Add(1)
+	s.metrics.DecisionsTotal.Add(uint64(len(states)))
+	s.metrics.Latency.ObserveDuration(time.Since(start))
+}
+
+// reloadSpec is the /reload request body. An empty body re-reads the
+// daemon's original -model path.
+type reloadSpec struct {
+	Model  string `json:"model"`
+	Policy string `json:"policy"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST only"))
+		return
+	}
+	var spec reloadSpec
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &spec); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: bad reload spec: %w", err))
+			return
+		}
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if spec.Model == "" && spec.Policy == "" {
+		if s.modelPath == "" {
+			s.fail(w, http.StatusBadRequest,
+				fmt.Errorf("serve: empty reload and no -model path to re-read"))
+			return
+		}
+		spec.Model = s.modelPath
+	}
+	eng, err := LoadEngine(spec.Model, spec.Policy)
+	if err != nil {
+		// The old engine keeps serving; a bad reload is not an outage.
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.Model != "" {
+		s.modelPath = spec.Model
+	}
+	s.batcher.Swap(eng)
+	s.metrics.ReloadsTotal.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"policy\":%q}\n", eng.Name())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteProm(w, s.batcher.Engine().Name())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintf(w, "ok policy=%s\n", s.batcher.Engine().Name())
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.metrics.ErrorsTotal.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+}
+
+// readAllInto is io.ReadAll into a reusable buffer.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}

@@ -143,6 +143,21 @@ func (e *Env) observe() Obs {
 // pendingCount is the full pending-queue length (may exceed len(visible)).
 func BuildObs(visible []*job.Job, now float64, view ClusterView, pendingCount, maxObs int) Obs {
 	obs := make(Obs, maxObs*JobFeatures)
+	BuildObsInto(obs, visible, now, view, pendingCount, maxObs)
+	return obs
+}
+
+// BuildObsInto is BuildObs writing into a caller-owned buffer of
+// maxObs·JobFeatures values, so hot serving paths can reuse allocations.
+// dst is fully overwritten (padding rows zeroed).
+func BuildObsInto(dst Obs, visible []*job.Job, now float64, view ClusterView, pendingCount, maxObs int) {
+	if len(dst) != maxObs*JobFeatures {
+		panic("sim: BuildObsInto buffer has wrong size")
+	}
+	obs := dst
+	for i := range obs {
+		obs[i] = 0
+	}
 	queueFrac := float64(pendingCount) / float64(maxObs)
 	if queueFrac > 1 {
 		queueFrac = 1
@@ -167,5 +182,4 @@ func BuildObs(visible []*job.Job, now float64, view ClusterView, pendingCount, m
 		row[5] = queueFrac
 		row[6] = 1
 	}
-	return obs
 }

@@ -210,3 +210,23 @@ func TestEnvRejectsBadSequence(t *testing.T) {
 		t.Error("oversized job must fail Reset")
 	}
 }
+
+func TestBuildObsIntoMatchesBuildObs(t *testing.T) {
+	jobs := []*job.Job{
+		job.New(1, 0, 100, 4, 200),
+		job.New(2, 10, 50, 2, 60),
+	}
+	view := ClusterView{FreeProcs: 32, TotalProcs: 64}
+	want := BuildObs(jobs, 40, view, 5, 8)
+	dst := make(Obs, 8*JobFeatures)
+	// Dirty the buffer to prove it is fully overwritten.
+	for i := range dst {
+		dst[i] = -1
+	}
+	BuildObsInto(dst, jobs, 40, view, 5, 8)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("BuildObsInto[%d] = %g, BuildObs = %g", i, dst[i], want[i])
+		}
+	}
+}

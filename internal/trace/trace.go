@@ -90,6 +90,28 @@ func (t *Trace) SampleWindow(rng *rand.Rand, n int) []*job.Job {
 	return t.Window(start, n)
 }
 
+// SampleQueue draws n random jobs from anywhere in the trace as one
+// synthetic pending-queue state: clones with scheduling state cleared and
+// submit times rebased into the recent past (newest at 0), as a scheduler
+// facing that queue would see them. Unlike SampleWindow the jobs are not
+// contiguous — queue states mix ages and sizes the way a live backlog does.
+// The result is sorted oldest-first (FCFS order).
+func (t *Trace) SampleQueue(rng *rand.Rand, n int) []*job.Job {
+	if len(t.Jobs) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]*job.Job, n)
+	for i := range out {
+		out[i] = t.Jobs[rng.Intn(len(t.Jobs))].Clone()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SubmitTime < out[j].SubmitTime })
+	base := out[len(out)-1].SubmitTime
+	for _, j := range out {
+		j.SubmitTime -= base
+	}
+	return out
+}
+
 // Stats summarizes the trace in the form of Table II.
 type Stats struct {
 	Name string

@@ -253,3 +253,33 @@ func meanStd(xs []float64) (float64, float64) {
 	}
 	return m, math.Sqrt(v / float64(len(xs)))
 }
+
+func TestSampleQueue(t *testing.T) {
+	tr := Preset("Lublin-1", 500, 7)
+	rng := rand.New(rand.NewSource(1))
+	q := tr.SampleQueue(rng, 64)
+	if len(q) != 64 {
+		t.Fatalf("SampleQueue returned %d jobs, want 64", len(q))
+	}
+	for i, j := range q {
+		if j.Started() {
+			t.Fatalf("job %d has scheduling state set", i)
+		}
+		if j.SubmitTime > 0 {
+			t.Fatalf("job %d submitted in the future (%g)", i, j.SubmitTime)
+		}
+		if i > 0 && q[i-1].SubmitTime > j.SubmitTime {
+			t.Fatalf("queue not in FCFS order at %d", i)
+		}
+	}
+	if q[len(q)-1].SubmitTime != 0 {
+		t.Fatalf("newest job should be rebased to 0, got %g", q[len(q)-1].SubmitTime)
+	}
+	// Clones: mutating the sample must not touch the trace.
+	q[0].RequestedProcs = -5
+	for _, j := range tr.Jobs {
+		if j.RequestedProcs == -5 {
+			t.Fatal("SampleQueue aliases trace jobs")
+		}
+	}
+}
