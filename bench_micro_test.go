@@ -25,6 +25,7 @@ func newBenchAgent(b *testing.B, o exp.Options) *core.Agent {
 		TrajPerEpoch: o.TrajPerEpoch,
 		Seed:         o.Seed,
 		PPO:          rl.PPOConfig{TrainPiIters: o.PiIters, TrainVIters: o.VIters},
+		Workers:      o.Workers,
 	})
 	if err != nil {
 		b.Fatal(err)

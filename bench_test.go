@@ -11,6 +11,7 @@
 package main_test
 
 import (
+	"flag"
 	"io"
 	"os"
 	"testing"
@@ -18,14 +19,23 @@ import (
 	"rlsched/internal/exp"
 )
 
+// benchWorkers sets the rollout-collection parallelism of the training
+// benchmarks, e.g. `go test -bench=Table9TrainingEpoch -workers=8`.
+// 0 means GOMAXPROCS; results are bit-identical for any value.
+var benchWorkers = flag.Int("workers", 0, "rollout workers for training benchmarks (0 = GOMAXPROCS)")
+
 func benchOptions() exp.Options {
+	var o exp.Options
 	switch os.Getenv("RLSCHED_BENCH_SCALE") {
 	case "paper":
-		return exp.Paper()
+		o = exp.Paper()
 	case "standard":
-		return exp.Standard()
+		o = exp.Standard()
+	default:
+		o = exp.Quick()
 	}
-	return exp.Quick()
+	o.Workers = *benchWorkers
+	return o
 }
 
 // runExperiment executes one experiment per b.N iteration, printing the
@@ -82,6 +92,12 @@ func BenchmarkTable9TrainingEpoch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	// One scheduling decision places one job, so the two rates coincide
+	// here; both are reported so BENCH_*.json tracks training throughput
+	// in the same units as the serving benchmarks.
+	steps := float64(b.N) * float64(o.TrajPerEpoch) * float64(o.SeqLen)
+	b.ReportMetric(steps/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(steps/b.Elapsed().Seconds(), "decisions/s")
 }
 
 // --- Figures ---

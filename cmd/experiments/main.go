@@ -40,6 +40,7 @@ func main() {
 	evalLen := flag.Int("eval-seqlen", 0, "override evaluation sequence length")
 	traceJobs := flag.Int("trace-jobs", 0, "override synthesized trace length")
 	iters := flag.Int("iters", 0, "override PPO policy/value iterations")
+	workers := flag.Int("workers", 0, "parallel rollout workers for training runs (0 = GOMAXPROCS)")
 	loadgen := flag.String("loadgen", "", "load-generator mode: base URL of a running rlservd")
 	loadDur := flag.Duration("load-duration", 5*time.Second, "loadgen measurement window")
 	loadConns := flag.Int("load-conns", 4, "loadgen concurrent connections")
@@ -113,6 +114,9 @@ func main() {
 	}
 	if *iters > 0 {
 		o.PiIters, o.VIters = *iters, *iters
+	}
+	if *workers > 0 {
+		o.Workers = *workers
 	}
 
 	ids := []string{*run}

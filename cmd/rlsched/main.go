@@ -72,6 +72,7 @@ func train(args []string) {
 	seed := fs.Int64("seed", 42, "seed")
 	piIters := fs.Int("pi-iters", 80, "PPO policy iterations per epoch")
 	vIters := fs.Int("v-iters", 80, "PPO value iterations per epoch")
+	workers := fs.Int("workers", 0, "parallel rollout workers (0 = GOMAXPROCS; any value is bit-identical)")
 	out := fs.String("o", "model.json", "model output path")
 	fs.Parse(args)
 
@@ -91,6 +92,7 @@ func train(args []string) {
 		Filter:       *filter,
 		Seed:         *seed,
 		PPO:          rl.PPOConfig{TrainPiIters: *piIters, TrainVIters: *vIters},
+		Workers:      *workers,
 	})
 	if err != nil {
 		fatal(err)

@@ -76,6 +76,41 @@ func Conv2D(x, w, b *Tensor) *Tensor {
 	return out
 }
 
+// Conv2DInfer is Conv2D's inference twin: the identical forward arithmetic
+// on raw row-major slices, with no graph node, no backward closure and no
+// allocation. x is [n,c,h,w] flat, wgt [f,c,kh,kw], bias [f] (or [1,f]
+// flattened), out [n,f,h-kh+1,w-kw+1]. Weights are only read, so any number
+// of goroutines may call it concurrently on shared weights.
+func Conv2DInfer(x []float64, n, c, h, wd int, wgt, bias []float64, f, kh, kw int, out []float64) {
+	oh, ow := h-kh+1, wd-kw+1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("autograd: Conv2DInfer kernel %dx%d too large for %dx%d", kh, kw, h, wd))
+	}
+	if len(x) != n*c*h*wd || len(wgt) != f*c*kh*kw || len(bias) != f || len(out) != n*f*oh*ow {
+		panic("autograd: Conv2DInfer buffer sizes do not match dims")
+	}
+	xAt := func(ni, ci, hi, wi int) int { return ((ni*c+ci)*h+hi)*wd + wi }
+	wAt := func(fi, ci, hi, wi int) int { return ((fi*c+ci)*kh+hi)*kw + wi }
+	oAt := func(ni, fi, hi, wi int) int { return ((ni*f+fi)*oh+hi)*ow + wi }
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					s := bias[fi]
+					for ci := 0; ci < c; ci++ {
+						for ki := 0; ki < kh; ki++ {
+							for kj := 0; kj < kw; kj++ {
+								s += x[xAt(ni, ci, oi+ki, oj+kj)] * wgt[wAt(fi, ci, ki, kj)]
+							}
+						}
+					}
+					out[oAt(ni, fi, oi, oj)] = s
+				}
+			}
+		}
+	}
+}
+
 // MaxPool2D max-pools x[N,C,H,W] with a kh×kw window and matching stride
 // (floor semantics for ragged edges).
 func MaxPool2D(x *Tensor, kh, kw int) *Tensor {
@@ -123,4 +158,36 @@ func MaxPool2D(x *Tensor, kh, kw int) *Tensor {
 		}
 	}
 	return out
+}
+
+// MaxPool2DInfer is MaxPool2D's inference twin on raw slices (floor
+// semantics for ragged edges, like the graph op). x is [n,c,h,w] flat,
+// out [n,c,h/kh,w/kw].
+func MaxPool2DInfer(x []float64, n, c, h, w, kh, kw int, out []float64) {
+	oh, ow := h/kh, w/kw
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("autograd: MaxPool2DInfer %dx%d window on %dx%d input", kh, kw, h, w))
+	}
+	if len(x) != n*c*h*w || len(out) != n*c*oh*ow {
+		panic("autograd: MaxPool2DInfer buffer sizes do not match dims")
+	}
+	xAt := func(ni, ci, hi, wi int) int { return ((ni*c+ci)*h+hi)*w + wi }
+	oAt := func(ni, ci, hi, wi int) int { return ((ni*c+ci)*oh+hi)*ow + wi }
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					best := x[xAt(ni, ci, oi*kh, oj*kw)]
+					for ki := 0; ki < kh; ki++ {
+						for kj := 0; kj < kw; kj++ {
+							if v := x[xAt(ni, ci, oi*kh+ki, oj*kw+kj)]; v > best {
+								best = v
+							}
+						}
+					}
+					out[oAt(ni, ci, oi, oj)] = best
+				}
+			}
+		}
+	}
 }

@@ -3,6 +3,7 @@ package autograd
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -152,4 +153,151 @@ func TestGradConvPoolPipeline(t *testing.T) {
 		f := Reshape(p, 1, 12)
 		return Mean(Square(MatMul(f, w2)))
 	})
+}
+
+func TestGradDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randParam(rng, 4, 3)
+	w := randParam(rng, 3, 5)
+	b := randParam(rng, 1, 5)
+	for act, name := range map[int]string{
+		DenseActNone: "dense-none",
+		DenseActReLU: "dense-relu",
+		DenseActTanh: "dense-tanh",
+	} {
+		checkGrads(t, name, []*Tensor{x, w, b}, func() *Tensor {
+			return Sum(Square(Dense(x, w, b, act)))
+		})
+	}
+}
+
+func TestDenseMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := randParam(rng, 6, 4)
+	w := randParam(rng, 4, 3)
+	b := randParam(rng, 1, 3)
+	fused := Dense(x, w, b, DenseActReLU)
+	plain := ReLU(AddBias(MatMul(x, w), b))
+	for i := range plain.Data {
+		// Bias-first accumulation reorders the sum, so allow last-bit slack.
+		if math.Abs(fused.Data[i]-plain.Data[i]) > 1e-12 {
+			t.Fatalf("fused[%d] = %g, unfused %g", i, fused.Data[i], plain.Data[i])
+		}
+	}
+}
+
+func TestGradSelectScatterRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randParam(rng, 5, 3)
+	checkGrads(t, "selectrows", []*Tensor{a}, func() *Tensor {
+		return Sum(Square(SelectRows(a, []int{4, 0, 2, 0})))
+	})
+	checkGrads(t, "scatterrowsfill", []*Tensor{a}, func() *Tensor {
+		// Rows 1 and 3 of the output come from input rows 0 and 2; the
+		// remaining 4 output rows replicate fill row 4.
+		return Sum(Square(ScatterRowsFill(a, []int{1, 3}, 6, 4)))
+	})
+	checkGrads(t, "select-scatter-pipeline", []*Tensor{a}, func() *Tensor {
+		sel := SelectRows(a, []int{1, 2, 0})
+		return Mean(Square(ScatterRowsFill(sel, []int{0, 3}, 5, 2)))
+	})
+}
+
+func TestGraphNodeCountMoves(t *testing.T) {
+	before := GraphNodeCount()
+	_ = Sum(Square(Param([]float64{1, 2}, 1, 2)))
+	if GraphNodeCount()-before != 2 {
+		t.Errorf("expected 2 graph nodes, counter moved by %d", GraphNodeCount()-before)
+	}
+}
+
+// TestDenseBlockedPath exercises the blocked (parallelizable) Dense path
+// (m >= denseBlockRows) against the unfused reference, and proves the
+// results are bit-identical whatever GOMAXPROCS is — the blocked reduction
+// order is fixed by the shape, not the machine.
+func TestDenseBlockedPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m, k, n := denseBlockRows+37, 9, 6
+	mk := make([]float64, m*k)
+	for i := range mk {
+		if i%3 != 0 { // leave zeros so the skip paths run
+			mk[i] = rng.NormFloat64()
+		}
+	}
+	w := randParam(rng, k, n)
+	b := randParam(rng, 1, n)
+
+	run := func(procs int) ([]float64, []float64, []float64) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		x := Param(mk, m, k)
+		wc, bc := w.Clone(), b.Clone()
+		wp := Param(wc.Data, k, n)
+		bp := Param(bc.Data, 1, n)
+		loss := Sum(Square(Dense(x, wp, bp, DenseActReLU)))
+		loss.Backward()
+		return x.Grad, wp.Grad, bp.Grad
+	}
+	x1, w1, b1 := run(1)
+	x4, w4, b4 := run(4)
+	for name, pair := range map[string][2][]float64{
+		"x": {x1, x4}, "w": {w1, w4}, "b": {b1, b4},
+	} {
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s grad[%d] differs across GOMAXPROCS: %g vs %g",
+					name, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+
+	// Cross-check the blocked forward/backward against the unfused ops.
+	x := Param(mk, m, k)
+	wp := Param(w.Data, k, n)
+	bp := Param(b.Data, 1, n)
+	fused := Dense(x, wp, bp, DenseActReLU)
+	xr := Param(mk, m, k)
+	wr := Param(w.Data, k, n)
+	br := Param(b.Data, 1, n)
+	plain := ReLU(AddBias(MatMul(xr, wr), br))
+	for i := range plain.Data {
+		if math.Abs(fused.Data[i]-plain.Data[i]) > 1e-12 {
+			t.Fatalf("blocked fused[%d] = %g, unfused %g", i, fused.Data[i], plain.Data[i])
+		}
+	}
+	Sum(Square(fused)).Backward()
+	Sum(Square(plain)).Backward()
+	for i := range wr.Grad {
+		if math.Abs(wp.Grad[i]-wr.Grad[i]) > 1e-9*(1+math.Abs(wr.Grad[i])) {
+			t.Fatalf("blocked dW[%d] = %g, unfused %g", i, wp.Grad[i], wr.Grad[i])
+		}
+	}
+}
+
+func TestGradMaskedLogSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randParam(rng, 3, 5)
+	mask := []bool{
+		true, true, false, true, false,
+		false, true, true, true, true,
+		true, false, true, false, true,
+	}
+	idx := []int{0, 2, 4}
+	checkGrads(t, "maskedlogsoftmax", []*Tensor{a}, func() *Tensor {
+		return Mean(GatherRows(MaskedLogSoftmax(a, mask, -1e9), idx))
+	})
+	// Parity with the unfused penalty + LogSoftmax chain.
+	pen := New(3, 5)
+	for i, ok := range mask {
+		if !ok {
+			pen.Data[i] = -1e9
+		}
+	}
+	fused := MaskedLogSoftmax(a, mask, -1e9)
+	plain := LogSoftmax(Add(a, pen))
+	for i := range plain.Data {
+		if fused.Data[i] != plain.Data[i] {
+			t.Fatalf("fused[%d] = %g, unfused %g", i, fused.Data[i], plain.Data[i])
+		}
+	}
 }

@@ -13,11 +13,17 @@ func Add(a, b *Tensor) *Tensor {
 		out.Data[i] = a.Data[i] + b.Data[i]
 	}
 	out.backFn = func() {
-		a.ensureGrad()
-		b.ensureGrad()
-		for i, g := range out.Grad {
-			a.Grad[i] += g
-			b.Grad[i] += g
+		if a.needsGrad() {
+			a.ensureGrad()
+			for i, g := range out.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.needsGrad() {
+			b.ensureGrad()
+			for i, g := range out.Grad {
+				b.Grad[i] += g
+			}
 		}
 	}
 	return out
@@ -31,11 +37,17 @@ func Sub(a, b *Tensor) *Tensor {
 		out.Data[i] = a.Data[i] - b.Data[i]
 	}
 	out.backFn = func() {
-		a.ensureGrad()
-		b.ensureGrad()
-		for i, g := range out.Grad {
-			a.Grad[i] += g
-			b.Grad[i] -= g
+		if a.needsGrad() {
+			a.ensureGrad()
+			for i, g := range out.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.needsGrad() {
+			b.ensureGrad()
+			for i, g := range out.Grad {
+				b.Grad[i] -= g
+			}
 		}
 	}
 	return out
@@ -49,11 +61,17 @@ func Mul(a, b *Tensor) *Tensor {
 		out.Data[i] = a.Data[i] * b.Data[i]
 	}
 	out.backFn = func() {
-		a.ensureGrad()
-		b.ensureGrad()
-		for i, g := range out.Grad {
-			a.Grad[i] += g * b.Data[i]
-			b.Grad[i] += g * a.Data[i]
+		if a.needsGrad() {
+			a.ensureGrad()
+			for i, g := range out.Grad {
+				a.Grad[i] += g * b.Data[i]
+			}
+		}
+		if b.needsGrad() {
+			b.ensureGrad()
+			for i, g := range out.Grad {
+				b.Grad[i] += g * a.Data[i]
+			}
 		}
 	}
 	return out
@@ -115,24 +133,51 @@ func MatMul(a, b *Tensor) *Tensor {
 		}
 	}
 	out.backFn = func() {
-		a.ensureGrad()
-		b.ensureGrad()
-		// dA = dOut × Bᵀ ; dB = Aᵀ × dOut.
+		// dA = dOut × Bᵀ ; dB = Aᵀ × dOut. Each side is computed only when
+		// its gradient is consumed — dA of the batch-observation leaf (the
+		// widest input of the critic) is pure waste — and each pass skips
+		// zeros: batch observations are mostly padding and post-ReLU
+		// activations are roughly half zeros.
+		doA, doB := a.needsGrad(), b.needsGrad()
+		if doA {
+			a.ensureGrad()
+		}
+		if doB {
+			b.ensureGrad()
+		}
 		for i := 0; i < m; i++ {
 			grow := out.Grad[i*n : (i+1)*n]
-			agrow := a.Grad[i*k : (i+1)*k]
-			arow := a.Data[i*k : (i+1)*k]
-			for kk := 0; kk < k; kk++ {
-				brow := b.Data[kk*n : (kk+1)*n]
-				bgrow := b.Grad[kk*n : (kk+1)*n]
-				var s float64
-				av := arow[kk]
-				for j := 0; j < n; j++ {
-					g := grow[j]
-					s += g * brow[j]
-					bgrow[j] += av * g
+			allZero := true
+			for _, g := range grow {
+				if g != 0 {
+					allZero = false
+					break
 				}
-				agrow[kk] += s
+			}
+			if allZero {
+				continue
+			}
+			arow := a.Data[i*k : (i+1)*k]
+			if doA {
+				agrow := a.Grad[i*k : (i+1)*k]
+				for kk := 0; kk < k; kk++ {
+					brow := b.Data[kk*n : (kk+1)*n]
+					var s float64
+					for j, g := range grow {
+						s += g * brow[j]
+					}
+					agrow[kk] += s
+				}
+			}
+			if doB {
+				for kk := 0; kk < k; kk++ {
+					if av := arow[kk]; av != 0 {
+						bgrow := b.Grad[kk*n : (kk+1)*n]
+						for j, g := range grow {
+							bgrow[j] += av * g
+						}
+					}
+				}
 			}
 		}
 	}
@@ -320,10 +365,16 @@ func Mean(a *Tensor) *Tensor {
 	return out
 }
 
-// Reshape reinterprets a with a new shape of equal element count.
+// Reshape reinterprets a with a new shape of equal element count. When a
+// is a plain data leaf (no gradient consumer), the result is a view
+// sharing a's backing array — reshaping a big observation batch costs
+// nothing; callers must not mutate either tensor through the other.
 func Reshape(a *Tensor, shape ...int) *Tensor {
 	if numel(shape) != len(a.Data) {
 		panic(fmt.Sprintf("autograd: Reshape %v -> %v", a.Shape, shape))
+	}
+	if !a.needsGrad() {
+		return FromSlice(a.Data, shape...)
 	}
 	out := newFrom("reshape", shape, a)
 	copy(out.Data, a.Data)
@@ -431,6 +482,315 @@ func Concat(ts ...*Tensor) *Tensor {
 				t.Grad[i] += out.Grad[off+i]
 			}
 			off += len(t.Data)
+		}
+	}
+	return out
+}
+
+// SelectRows gathers whole rows of a[m,n]: out[r,:] = a[idx[r],:]. Indices
+// may repeat; gradients accumulate into the selected rows.
+func SelectRows(a *Tensor, idx []int) *Tensor {
+	a.want2D()
+	m, n := a.Shape[0], a.Shape[1]
+	// Selecting from a plain data leaf yields another leaf, so downstream
+	// consumers skip computing its gradient entirely.
+	var out *Tensor
+	if a.needsGrad() {
+		out = newFrom("selectrows", []int{len(idx), n}, a)
+	} else {
+		out = New(len(idx), n)
+	}
+	for r, i := range idx {
+		if i < 0 || i >= m {
+			panic(fmt.Sprintf("autograd: SelectRows index %d out of %d rows", i, m))
+		}
+		copy(out.Data[r*n:(r+1)*n], a.Data[i*n:(i+1)*n])
+	}
+	if !a.needsGrad() {
+		return out
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		for r, i := range idx {
+			grow := out.Grad[r*n : (r+1)*n]
+			agrow := a.Grad[i*n : (i+1)*n]
+			for j, g := range grow {
+				agrow[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// ScatterRowsFill spreads a[r,:] into out[idx[r],:] of an [m,n] result;
+// every row of out not named by idx receives a copy of a's fill-th row.
+// The backward pass routes each output row's gradient to its source, so
+// the fill row accumulates the summed gradient of every filled row. It is
+// the inverse of compacting a batch whose dropped rows were all identical
+// (e.g. all-zero padding rows scored by a shared kernel network).
+func ScatterRowsFill(a *Tensor, idx []int, m, fill int) *Tensor {
+	a.want2D()
+	rows, n := a.Shape[0], a.Shape[1]
+	if fill < 0 || fill >= rows {
+		panic(fmt.Sprintf("autograd: ScatterRowsFill fill row %d of %d", fill, rows))
+	}
+	if len(idx) > m {
+		panic(fmt.Sprintf("autograd: ScatterRowsFill %d indices into %d rows", len(idx), m))
+	}
+	out := newFrom("scatterrows", []int{m, n}, a)
+	src := make([]int, m)
+	for i := range src {
+		src[i] = fill
+	}
+	for r, i := range idx {
+		if i < 0 || i >= m {
+			panic(fmt.Sprintf("autograd: ScatterRowsFill index %d out of %d rows", i, m))
+		}
+		if r >= rows {
+			panic("autograd: ScatterRowsFill more indices than input rows")
+		}
+		src[i] = r
+	}
+	for i := 0; i < m; i++ {
+		copy(out.Data[i*n:(i+1)*n], a.Data[src[i]*n:(src[i]+1)*n])
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		for i := 0; i < m; i++ {
+			grow := out.Grad[i*n : (i+1)*n]
+			agrow := a.Grad[src[i]*n : (src[i]+1)*n]
+			for j, g := range grow {
+				agrow[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// Activation codes for the fused Dense layer.
+const (
+	DenseActNone = iota
+	DenseActReLU
+	DenseActTanh
+)
+
+// Dense returns act(a[m,k] × w[k,n] + bias[1,n]) as a single fused graph
+// node. Fusing the three steps that MatMul/AddBias/ReLU would otherwise
+// perform separately removes two full [m,n] tensor allocations and two
+// backward passes per layer — the training update spends most of its time
+// here, so the layer fusion is a measurable share of epoch wall-time.
+func Dense(a, w, bias *Tensor, act int) *Tensor {
+	a.want2D()
+	w.want2D()
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := w.Shape[0], w.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("autograd: Dense inner dims %d vs %d", k, k2))
+	}
+	if bias.Shape[0] != 1 || bias.Shape[1] != n {
+		panic(fmt.Sprintf("autograd: Dense bias shape %v for width %d", bias.Shape, n))
+	}
+	out := newFrom("dense", []int{m, n}, a, w, bias)
+	forward := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			copy(orow, bias.Data)
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				wrow := w.Data[kk*n : (kk+1)*n]
+				for j, wv := range wrow {
+					orow[j] += av * wv
+				}
+			}
+			switch act {
+			case DenseActReLU:
+				for j, v := range orow {
+					if v < 0 {
+						orow[j] = 0
+					}
+				}
+			case DenseActTanh:
+				for j, v := range orow {
+					orow[j] = math.Tanh(v)
+				}
+			}
+		}
+	}
+	if m >= denseBlockRows {
+		runBlocks(func(b int) {
+			lo, hi := blockRange(m, b)
+			forward(lo, hi)
+		})
+	} else {
+		forward(0, m)
+	}
+	out.backFn = func() {
+		doA, doW, doBias := a.needsGrad(), w.needsGrad(), bias.needsGrad()
+		if doA {
+			a.ensureGrad()
+		}
+		if doW {
+			w.ensureGrad()
+		}
+		if doBias {
+			bias.ensureGrad()
+		}
+		// backward handles rows [lo, hi): dA straight into a.Grad (rows are
+		// block-private), dW/dBias into the given accumulators.
+		backward := func(lo, hi int, dpre, wgrad, bgrad []float64) {
+			for i := lo; i < hi; i++ {
+				grow := out.Grad[i*n : (i+1)*n]
+				orow := out.Data[i*n : (i+1)*n]
+				allZero := true
+				switch act {
+				case DenseActReLU:
+					// out > 0 ⟺ pre-activation > 0 (exact zeros stay dead,
+					// matching ReLU's subgradient convention).
+					for j, g := range grow {
+						if g != 0 && orow[j] > 0 {
+							dpre[j] = g
+							allZero = false
+						} else {
+							dpre[j] = 0
+						}
+					}
+				case DenseActTanh:
+					for j, g := range grow {
+						d := g * (1 - orow[j]*orow[j])
+						dpre[j] = d
+						if d != 0 {
+							allZero = false
+						}
+					}
+				default:
+					for j, g := range grow {
+						dpre[j] = g
+						if g != 0 {
+							allZero = false
+						}
+					}
+				}
+				if allZero {
+					continue
+				}
+				arow := a.Data[i*k : (i+1)*k]
+				if doA {
+					agrow := a.Grad[i*k : (i+1)*k]
+					for kk := 0; kk < k; kk++ {
+						wrow := w.Data[kk*n : (kk+1)*n]
+						var s float64
+						for j, d := range dpre {
+							s += d * wrow[j]
+						}
+						agrow[kk] += s
+					}
+				}
+				if doW {
+					for kk := 0; kk < k; kk++ {
+						if av := arow[kk]; av != 0 {
+							wgrow := wgrad[kk*n : (kk+1)*n]
+							for j, d := range dpre {
+								wgrow[j] += av * d
+							}
+						}
+					}
+				}
+				if doBias {
+					for j, d := range dpre {
+						bgrad[j] += d
+					}
+				}
+			}
+		}
+		if m < denseBlockRows {
+			backward(0, m, make([]float64, n), w.Grad, bias.Grad)
+			return
+		}
+		// Blocked path: per-block partial gradients for the shared W and
+		// bias, reduced in block order so the summation order is fixed by
+		// the shape alone (GOMAXPROCS only changes wall-clock).
+		wparts := make([]*[]float64, denseBlocks)
+		bparts := make([]*[]float64, denseBlocks)
+		runBlocks(func(b int) {
+			lo, hi := blockRange(m, b)
+			wparts[b], bparts[b] = getZeroed(k*n), getZeroed(n)
+			dpre := getZeroed(n)
+			backward(lo, hi, *dpre, *wparts[b], *bparts[b])
+			scratchPool.Put(dpre)
+		})
+		for b := 0; b < denseBlocks; b++ {
+			if doW {
+				for i, v := range *wparts[b] {
+					w.Grad[i] += v
+				}
+			}
+			if doBias {
+				for j, v := range *bparts[b] {
+					bias.Grad[j] += v
+				}
+			}
+			scratchPool.Put(wparts[b])
+			scratchPool.Put(bparts[b])
+		}
+	}
+	return out
+}
+
+// MaskedLogSoftmax is LogSoftmax(a + penalty·(1-mask)) as one fused node:
+// invalid cells (mask[i] false, flat row-major like a) are pushed to
+// penalty before the row-wise stable log-softmax. It replaces the
+// penalty-tensor + Add + LogSoftmax chain on the PPO hot path, saving two
+// full-batch tensors per update iteration.
+func MaskedLogSoftmax(a *Tensor, mask []bool, penalty float64) *Tensor {
+	a.want2D()
+	m, n := a.Shape[0], a.Shape[1]
+	if len(mask) != m*n {
+		panic(fmt.Sprintf("autograd: MaskedLogSoftmax %d flags for %dx%d", len(mask), m, n))
+	}
+	out := newFrom("maskedlogsoftmax", a.Shape, a)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		mrow := mask[i*n : (i+1)*n]
+		orow := out.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			if !mrow[j] {
+				v += penalty
+			}
+			orow[j] = v
+		}
+		max := orow[0]
+		for _, v := range orow[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var lse float64
+		for _, v := range orow {
+			lse += math.Exp(v - max)
+		}
+		lse = math.Log(lse) + max
+		for j := range orow {
+			orow[j] -= lse
+		}
+	}
+	out.backFn = func() {
+		a.ensureGrad()
+		// Same Jacobian as LogSoftmax: the penalty shift is constant.
+		for i := 0; i < m; i++ {
+			grow := out.Grad[i*n : (i+1)*n]
+			orow := out.Data[i*n : (i+1)*n]
+			var gsum float64
+			for _, g := range grow {
+				gsum += g
+			}
+			agrow := a.Grad[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				agrow[j] += grow[j] - math.Exp(orow[j])*gsum
+			}
 		}
 	}
 	return out

@@ -1,0 +1,76 @@
+package autograd
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The blocked execution scheme of the fused Dense layer. Large batches are
+// cut into a FIXED number of row blocks; blocks may run on as many
+// goroutines as the machine offers, but every floating-point accumulation
+// order is a function of the shape alone — per-block partial gradients are
+// reduced in block order — so training results are bit-identical on a
+// laptop and a 64-core server. The path choice (serial vs blocked) also
+// depends only on the row count, never on GOMAXPROCS.
+
+// denseBlockRows is the row count at which Dense switches to the blocked
+// path.
+const denseBlockRows = 512
+
+// denseBlocks is the fixed block count of the blocked path (also the
+// maximum useful parallelism of one Dense call).
+const denseBlocks = 8
+
+// blockRange returns the half-open row range of block b.
+func blockRange(m, b int) (int, int) {
+	return b * m / denseBlocks, (b + 1) * m / denseBlocks
+}
+
+// runBlocks executes fn(0..denseBlocks-1), concurrently when the machine
+// has spare processors. fn must only touch block-private or read-only
+// state.
+func runBlocks(fn func(b int)) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs > denseBlocks {
+		procs = denseBlocks
+	}
+	if procs <= 1 {
+		for b := 0; b < denseBlocks; b++ {
+			fn(b)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range ch {
+				fn(b)
+			}
+		}()
+	}
+	for b := 0; b < denseBlocks; b++ {
+		ch <- b
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// scratchPool recycles the per-block gradient partials of Dense backward.
+var scratchPool = sync.Pool{New: func() interface{} { return new([]float64) }}
+
+// getZeroed returns a pooled slice of n zeros.
+func getZeroed(n int) *[]float64 {
+	p := scratchPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	s := (*p)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	*p = s
+	return p
+}

@@ -10,6 +10,7 @@ package autograd
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Tensor is a dense row-major float64 tensor participating in a dynamically
@@ -108,6 +109,13 @@ func (t *Tensor) ensureGrad() {
 	}
 }
 
+// needsGrad reports whether gradients flowing into t serve any purpose:
+// either t is a parameter leaf (RequiresGrad) or an interior node whose
+// backward closure propagates further. Gradients of plain data leaves
+// (batch observations, targets) are write-only — expensive operators skip
+// computing them.
+func (t *Tensor) needsGrad() bool { return t.RequiresGrad || t.backFn != nil }
+
 // ZeroGrad clears the gradient buffer.
 func (t *Tensor) ZeroGrad() {
 	for i := range t.Grad {
@@ -115,8 +123,19 @@ func (t *Tensor) ZeroGrad() {
 	}
 }
 
+// graphNodes counts every operator node ever wired into a computation
+// graph. Hot inference paths must stay graph-free; tests assert the count
+// does not move across a rollout or serving decision.
+var graphNodes atomic.Int64
+
+// GraphNodeCount returns the number of graph nodes constructed since
+// process start. The absolute value is meaningless; deltas prove a code
+// path did (or did not) touch the autograd engine.
+func GraphNodeCount() int64 { return graphNodes.Load() }
+
 // newFrom builds an operator result wired to its operands.
 func newFrom(op string, shape []int, prev ...*Tensor) *Tensor {
+	graphNodes.Add(1)
 	t := New(shape...)
 	t.op = op
 	t.prev = prev

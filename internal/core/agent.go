@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sync"
+	"runtime"
 
 	"rlsched/internal/job"
 	"rlsched/internal/metrics"
@@ -63,9 +63,9 @@ type Config struct {
 	// EpochStats.
 	RewardWeights map[metrics.Kind]float64
 	// Workers sets the number of goroutines collecting trajectories per
-	// epoch (default 1). Results are bit-identical for any worker count:
-	// every trajectory owns a deterministic RNG and a private
-	// environment, so only wall-clock changes.
+	// epoch (default GOMAXPROCS). Results are bit-identical for any
+	// worker count: every trajectory owns a deterministic RNG and a
+	// private environment, so only wall-clock changes.
 	Workers int
 }
 
@@ -91,6 +91,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.FilterPhase1 == 0 {
 		c.FilterPhase1 = 30
 	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	if c.SeqLen > c.Trace.Len() {
 		return c, fmt.Errorf("core: SeqLen %d exceeds trace length %d", c.SeqLen, c.Trace.Len())
 	}
@@ -113,15 +116,14 @@ type EpochStats struct {
 
 // Agent is a configured RLScheduler instance.
 type Agent struct {
-	cfg    Config
-	simCfg sim.Config
-	env    *sim.Env
-	envs   []*sim.Env // worker environments (lazily grown)
-	ppo    *rl.PPO
-	buf    *rl.Buffer
-	filter *rl.Filter
-	rng    *rand.Rand
-	epoch  int
+	cfg       Config
+	simCfg    sim.Config
+	collector *rl.Collector
+	ppo       *rl.PPO
+	buf       *rl.Buffer
+	filter    *rl.Filter
+	rng       *rand.Rand
+	epoch     int
 }
 
 // New builds the agent: networks, PPO, environment, and (if enabled) the
@@ -152,14 +154,24 @@ func New(cfg Config) (*Agent, error) {
 	a := &Agent{
 		cfg:    cfg,
 		simCfg: simCfg,
-		env:    sim.NewEnv(simCfg, cfg.Goal),
 		ppo:    rl.NewPPO(pol, val, ppoCfg),
 		buf:    rl.NewBuffer(ppoCfg.Gamma, ppoCfg.Lambda),
 		rng:    rng,
 	}
+	var rewardFn metrics.RewardFunc
 	if cfg.RewardWeights != nil {
-		a.env.SetReward(metrics.WeightedReward(cfg.RewardWeights))
+		rewardFn = metrics.WeightedReward(cfg.RewardWeights)
 	}
+	a.collector = rl.NewCollector(rl.CollectorConfig{
+		Policy:  a.ppo.Inferer(),
+		Value:   val,
+		MaxObs:  cfg.MaxObserve,
+		Feat:    sim.JobFeatures,
+		Sim:     simCfg,
+		Goal:    cfg.Goal,
+		Reward:  rewardFn,
+		Workers: cfg.Workers,
+	})
 	if cfg.Filter {
 		ps, err := rl.Probe(cfg.Trace, simCfg, cfg.Goal, cfg.FilterProbeN, cfg.SeqLen, rng)
 		if err != nil {
@@ -193,71 +205,15 @@ func (a *Agent) sampleWindow() ([]*job.Job, int) {
 	}
 }
 
-// step is one recorded environment interaction.
-type step struct {
-	obs  []float64
-	mask []bool
-	act  int
-	rew  float64
-	val  float64
-	logp float64
-}
-
-// trajResult is one finished rollout.
-type trajResult struct {
-	steps       []step
-	finalReward float64
-	metric      float64
-	err         error
-}
-
-// rollOne runs one trajectory on env with its own RNG. The policy forward
-// pass only reads network weights, so concurrent rollouts are safe as long
-// as no PPO update runs simultaneously.
-func (a *Agent) rollOne(env *sim.Env, rng *rand.Rand, win []*job.Job) trajResult {
-	var res trajResult
-	obs, err := env.Reset(win)
-	if err != nil {
-		res.err = err
-		return res
-	}
-	for {
-		mask := env.Mask()
-		act, logp, val := a.ppo.SelectAction(rng, obs, mask)
-		nextObs, rew, done := env.Step(act)
-		res.steps = append(res.steps, step{obs: obs, mask: mask, act: act, rew: rew, val: val, logp: logp})
-		obs = nextObs
-		if done {
-			res.finalReward = rew
-			break
-		}
-	}
-	res.metric = metrics.Value(a.cfg.Goal, env.Result())
-	return res
-}
-
-// trajRNG derives a deterministic per-trajectory RNG so the training
+// trajSeed derives a deterministic per-trajectory RNG seed so the training
 // trajectory stream is identical regardless of worker count.
-func (a *Agent) trajRNG(idx int) *rand.Rand {
-	seed := a.cfg.Seed + int64(a.epoch)*1_000_003 + int64(idx)*7919
-	return rand.New(rand.NewSource(seed))
+func (a *Agent) trajSeed(idx int) int64 {
+	return a.cfg.Seed + int64(a.epoch)*1_000_003 + int64(idx)*7919
 }
 
-// workerEnv returns the i-th worker's private environment.
-func (a *Agent) workerEnv(i int) *sim.Env {
-	for len(a.envs) <= i {
-		e := sim.NewEnv(a.simCfg, a.cfg.Goal)
-		if a.cfg.RewardWeights != nil {
-			e.SetReward(metrics.WeightedReward(a.cfg.RewardWeights))
-		}
-		a.envs = append(a.envs, e)
-	}
-	return a.envs[i]
-}
-
-// TrainEpoch samples TrajPerEpoch trajectories with the current policy
-// (in parallel when Workers > 1), then runs the PPO update (80 policy +
-// 80 value iterations by default).
+// TrainEpoch samples TrajPerEpoch trajectories with the current policy —
+// collected in parallel through the graph-free inference fast path — then
+// runs the PPO update (80 policy + 80 value iterations by default).
 func (a *Agent) TrainEpoch() (EpochStats, error) {
 	a.epoch++
 	if a.filter != nil && a.filter.Enabled && a.epoch > a.cfg.FilterPhase1 {
@@ -271,52 +227,21 @@ func (a *Agent) TrainEpoch() (EpochStats, error) {
 	// Window sampling (and filtering) stays serial on the agent RNG so
 	// the sampled workload stream is worker-count independent.
 	wins := make([][]*job.Job, a.cfg.TrajPerEpoch)
+	seeds := make([]int64, len(wins))
 	for i := range wins {
 		var rejected int
 		wins[i], rejected = a.sampleWindow()
 		stats.Rejected += rejected
-	}
-
-	results := make([]trajResult, len(wins))
-	workers := a.cfg.Workers
-	if workers <= 1 {
-		for i, win := range wins {
-			results[i] = a.rollOne(a.workerEnv(0), a.trajRNG(i), win)
-		}
-	} else {
-		if workers > len(wins) {
-			workers = len(wins)
-		}
-		idxCh := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			env := a.workerEnv(w)
-			wg.Add(1)
-			go func(env *sim.Env) {
-				defer wg.Done()
-				for i := range idxCh {
-					results[i] = a.rollOne(env, a.trajRNG(i), wins[i])
-				}
-			}(env)
-		}
-		for i := range wins {
-			idxCh <- i
-		}
-		close(idxCh)
-		wg.Wait()
+		seeds[i] = a.trajSeed(i)
 	}
 
 	var metricSum, rewardSum float64
-	for _, res := range results {
-		if res.err != nil {
-			return stats, res.err
+	for _, r := range a.collector.Collect(wins, seeds) {
+		if err := a.buf.StoreRollout(r); err != nil {
+			return stats, err
 		}
-		for _, s := range res.steps {
-			a.buf.Store(s.obs, s.mask, s.act, s.rew, s.val, s.logp)
-		}
-		a.buf.FinishPath(0)
-		rewardSum += res.finalReward
-		metricSum += res.metric
+		rewardSum += r.FinalReward
+		metricSum += r.Metric
 	}
 	batch, err := a.buf.Get()
 	if err != nil {

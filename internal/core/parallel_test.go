@@ -2,11 +2,36 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"rlsched/internal/metrics"
 	"rlsched/internal/trace"
 )
+
+// TestTrainEpochReproducible: fixed seed + fixed worker count must
+// reproduce the identical training trajectory across two independent runs
+// — every PPO statistic bit-equal, not just the headline metric. CI runs
+// this under -race, so it also proves the parallel collector clean.
+func TestTrainEpochReproducible(t *testing.T) {
+	tr := trace.Preset("Lublin-1", 300, 16)
+	run := func() []EpochStats {
+		cfg := tinyConfig(tr, metrics.BoundedSlowdown)
+		cfg.Workers = 4
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curve, err := a.Train(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return curve
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("training diverged across identical runs:\n%+v\nvs\n%+v", a, b)
+	}
+}
 
 // TestWorkersBitIdentical verifies the parallel-rollout design promise:
 // the trajectory stream is derived from per-trajectory RNGs, so training

@@ -90,6 +90,7 @@ func AblationKernel(o Options) ([]Artifact, error) {
 			SeqLen:       o.SeqLen,
 			TrajPerEpoch: o.TrajPerEpoch,
 			Seed:         o.Seed,
+			Workers:      o.Workers,
 			PPO:          rl.PPOConfig{TrainPiIters: o.PiIters, TrainVIters: o.VIters},
 		})
 		if err != nil {
@@ -204,6 +205,7 @@ func AblationObsWindow(o Options) ([]Artifact, error) {
 			SeqLen:       o.SeqLen,
 			TrajPerEpoch: o.TrajPerEpoch,
 			Seed:         o.Seed,
+			Workers:      o.Workers,
 			PPO:          rl.PPOConfig{TrainPiIters: o.PiIters, TrainVIters: o.VIters},
 		})
 		if err != nil {

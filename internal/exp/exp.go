@@ -37,6 +37,10 @@ type Options struct {
 	PiIters, VIters int
 	// FilterProbeN is the SJF probe size for trajectory filtering.
 	FilterProbeN int
+	// Workers is the rollout-collection parallelism of every training
+	// run (0 = GOMAXPROCS). Any value yields bit-identical results;
+	// only wall-clock changes.
+	Workers int
 }
 
 // Quick returns CI-scale options: minutes, not hours.

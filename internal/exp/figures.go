@@ -141,6 +141,7 @@ func Fig8(o Options) ([]Artifact, error) {
 				SeqLen:       o.SeqLen,
 				TrajPerEpoch: o.TrajPerEpoch,
 				Seed:         o.Seed,
+				Workers:      o.Workers,
 				PPO:          o.ppo(),
 			})
 			if err != nil {

@@ -59,6 +59,7 @@ func trainRL(cache *traceCache, o Options, traceName string, goal metrics.Kind, 
 		FilterProbeN: o.FilterProbeN,
 		FilterPhase1: o.Epochs / 2,
 		Seed:         o.Seed,
+		Workers:      o.Workers,
 		PPO:          o.ppo(),
 	}
 	a, err := core.New(cfg)
@@ -260,6 +261,7 @@ func Table9(o Options) ([]Artifact, error) {
 		SeqLen:       o.SeqLen,
 		TrajPerEpoch: o.TrajPerEpoch,
 		Seed:         o.Seed,
+		Workers:      o.Workers,
 		PPO:          o.ppo(),
 	})
 	if err != nil {

@@ -1,8 +1,11 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"sync"
+
+	ag "rlsched/internal/autograd"
 )
 
 // This file is the serving-time inference fast path. Training goes through
@@ -14,12 +17,63 @@ import (
 // update may run at the same time (the serving daemon never trains; it
 // swaps whole models atomically instead).
 
-// Inferer is the optional fast path of a PolicyNet: a graph-free,
-// allocation-light forward pass that is safe for concurrent use.
+// Inferer is the graph-free fast path of a PolicyNet: an allocation-light
+// forward pass that is safe for concurrent use. Every built-in policy
+// architecture (kernel, the MLP variants, LeNet) implements it, so both the
+// serving daemon and the training rollout collector select actions without
+// ever touching the autograd engine.
 type Inferer interface {
 	// InferLogits scores a batch of flattened observations
 	// obs[batch, maxObs·feat] into out[batch·maxObs].
 	InferLogits(obs []float64, batch int, out []float64)
+}
+
+// ValueInferer is the critic's graph-free fast path, used by rollout
+// collection for per-step value estimates.
+type ValueInferer interface {
+	// InferValues predicts one value per observation: obs[batch,
+	// maxObs·feat] into out[batch].
+	InferValues(obs []float64, batch int, out []float64)
+}
+
+// AsInferer returns the graph-free fast path of net. All built-in
+// architectures implement Inferer directly (sharing weights with the
+// trainable network, so no sync is ever needed); an unknown third-party
+// PolicyNet is wrapped in an adapter that falls back to the autograd
+// forward pass — correct, but paying graph-construction cost per call.
+func AsInferer(net PolicyNet) Inferer {
+	if inf, ok := net.(Inferer); ok {
+		return inf
+	}
+	return graphInferer{net: net}
+}
+
+// graphInferer adapts a PolicyNet without a fast path to Inferer via the
+// autograd forward pass.
+type graphInferer struct{ net PolicyNet }
+
+func (g graphInferer) InferLogits(obs []float64, batch int, out []float64) {
+	maxObs, feat := g.net.Dims()
+	res := g.net.Logits(ag.FromSlice(obs, batch, maxObs*feat))
+	copy(out, res.Data)
+}
+
+// SyncParams is a cheap weight refresh: it copies every parameter tensor of
+// src into dst in Params() order without allocating (unlike a snapshot
+// round-trip). dst and src must be architecturally identical. Callers own
+// the synchronization — no forward pass may read dst concurrently.
+func SyncParams(dst, src Module) error {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		return fmt.Errorf("nn: sync across models with %d vs %d tensors", len(dp), len(sp))
+	}
+	for i, p := range dp {
+		if p.Size() != sp[i].Size() {
+			return fmt.Errorf("nn: sync tensor %d: %d vs %d values", i, p.Size(), sp[i].Size())
+		}
+		copy(p.Data, sp[i].Data)
+	}
+	return nil
 }
 
 // scratchPool recycles the intermediate activation buffers of infer runs.
@@ -116,3 +170,54 @@ func (m *MLPPolicy) InferLogits(obs []float64, batch int, out []float64) {
 	}
 	m.mlp.infer(obs, batch, out)
 }
+
+// InferLogits implements Inferer for the convolutional baseline: the two
+// (conv, relu, pool) stages run through the Conv2D/MaxPool2D inference
+// twins on pooled scratch, then the dense stack.
+func (l *LeNet) InferLogits(obs []float64, batch int, out []float64) {
+	if len(obs) != batch*l.maxObs*l.feat || len(out) != batch*l.maxObs {
+		panic("nn: InferLogits buffer sizes do not match network dims")
+	}
+	h1, w1 := l.maxObs-2, l.feat-2 // conv1 3×3 valid
+	h1p, w1p := h1/2, w1           // pool 2×1
+	h2, w2 := h1p-2, w1p-2         // conv2 3×3 valid
+	h2p, w2p := h2/2, w2           // pool 2×1
+
+	c1 := getScratch(batch * 4 * h1 * w1)
+	p1 := getScratch(batch * 4 * h1p * w1p)
+	c2 := getScratch(batch * 8 * h2 * w2)
+	p2 := getScratch(batch * 8 * h2p * w2p)
+	defer scratchPool.Put(c1)
+	defer scratchPool.Put(p1)
+	defer scratchPool.Put(c2)
+	defer scratchPool.Put(p2)
+
+	b1 := (*c1)[:batch*4*h1*w1]
+	ag.Conv2DInfer(obs, batch, 1, l.maxObs, l.feat, l.w1.Data, l.b1.Data, 4, 3, 3, b1)
+	applyActInPlace(ActReLU, b1)
+	b2 := (*p1)[:batch*4*h1p*w1p]
+	ag.MaxPool2DInfer(b1, batch, 4, h1, w1, 2, 1, b2)
+	b3 := (*c2)[:batch*8*h2*w2]
+	ag.Conv2DInfer(b2, batch, 4, h1p, w1p, l.w2.Data, l.b2.Data, 8, 3, 3, b3)
+	applyActInPlace(ActReLU, b3)
+	b4 := (*p2)[:batch*8*h2p*w2p]
+	ag.MaxPool2DInfer(b3, batch, 8, h2, w2, 2, 1, b4)
+	l.dense.infer(b4, batch, out)
+}
+
+// InferValues implements ValueInferer: the critic is a plain MLP, so the
+// shared graph-free stack applies directly.
+func (v *ValueNet) InferValues(obs []float64, batch int, out []float64) {
+	if len(obs) != batch*v.maxObs*v.feat || len(out) != batch {
+		panic("nn: InferValues buffer sizes do not match network dims")
+	}
+	v.mlp.infer(obs, batch, out)
+}
+
+// Compile-time proof that every built-in architecture has the fast path.
+var (
+	_ Inferer      = (*KernelNet)(nil)
+	_ Inferer      = (*MLPPolicy)(nil)
+	_ Inferer      = (*LeNet)(nil)
+	_ ValueInferer = (*ValueNet)(nil)
+)

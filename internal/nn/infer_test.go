@@ -38,6 +38,70 @@ func TestInferLogitsMatchesAutograd(t *testing.T) {
 	for _, batch := range []int{1, 3, 16} {
 		inferParity(t, NewKernelNet(rng, 24, 7, nil), batch)
 		inferParity(t, NewMLPPolicy(rng, 24, 7, "mlp-v2"), batch)
+		inferParity(t, NewMLPPolicy(rng, 24, 7, "mlp-v1"), batch)
+		inferParity(t, NewLeNet(rng, 16, 7), batch)
+	}
+}
+
+func TestEveryPolicyKindInfers(t *testing.T) {
+	// AsInferer must return the native fast path for every registered
+	// architecture — the rollout collector and the serving daemon both
+	// rely on it.
+	rng := rand.New(rand.NewSource(4))
+	for _, kind := range PolicyKinds {
+		net, err := NewPolicy(rng, kind, 16, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := net.(Inferer); !ok {
+			t.Errorf("%s lacks the graph-free Inferer fast path", kind)
+		}
+		inferParity(t, net, 2)
+	}
+}
+
+func TestInferValuesMatchesAutograd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v := NewValueNet(rng, 24, 7, nil)
+	for _, batch := range []int{1, 5} {
+		obs := make([]float64, batch*24*7)
+		for i := range obs {
+			obs[i] = rng.Float64()
+		}
+		want := v.Value(ag.FromSlice(obs, batch, 24*7)).Data
+		got := make([]float64, batch)
+		v.InferValues(obs, batch, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("value %d: fast=%g autograd=%g", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSyncParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src := NewKernelNet(rng, 16, 7, nil)
+	dst := NewKernelNet(rng, 16, 7, nil)
+	if err := SyncParams(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]float64, 16*7)
+	for i := range obs {
+		obs[i] = rng.Float64()
+	}
+	a, b := make([]float64, 16), make([]float64, 16)
+	src.InferLogits(obs, 1, a)
+	dst.InferLogits(obs, 1, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("logit %d differs after SyncParams: %g vs %g", i, a[i], b[i])
+		}
+	}
+	// Shape mismatch must be rejected.
+	other := NewKernelNet(rng, 16, 7, []int{4})
+	if err := SyncParams(other, src); err == nil {
+		t.Error("SyncParams across architectures must error")
 	}
 }
 

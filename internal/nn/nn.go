@@ -40,6 +40,18 @@ func (a Activation) apply(x *ag.Tensor) *ag.Tensor {
 	}
 }
 
+// denseCode maps the activation to the fused ag.Dense layer code.
+func (a Activation) denseCode() int {
+	switch a {
+	case ActTanh:
+		return ag.DenseActTanh
+	case ActReLU:
+		return ag.DenseActReLU
+	default:
+		return ag.DenseActNone
+	}
+}
+
 // Linear is a fully connected layer y = xW + b.
 type Linear struct {
 	W, B *ag.Tensor
@@ -81,13 +93,16 @@ func NewMLP(rng *rand.Rand, sizes []int, act Activation) *MLP {
 	return m
 }
 
-// Forward applies the stack to x.
+// Forward applies the stack to x. Every layer is one fused ag.Dense node
+// (matmul + bias + activation), keeping the graph small on the training
+// hot path.
 func (m *MLP) Forward(x *ag.Tensor) *ag.Tensor {
 	for i, l := range m.Layers {
-		x = l.Forward(x)
+		act := ag.DenseActNone
 		if i+1 < len(m.Layers) {
-			x = m.Act.apply(x)
+			act = m.Act.denseCode()
 		}
+		x = ag.Dense(x, l.W, l.B, act)
 	}
 	return x
 }

@@ -36,11 +36,44 @@ func NewKernelNet(rng *rand.Rand, maxObs, feat int, hidden []int) *KernelNet {
 
 // Logits implements PolicyNet: reshape [B, maxObs·feat] → [B·maxObs, feat],
 // score every job with the shared MLP, reshape back to [B, maxObs].
+//
+// Padding rows are compacted away first: they are exactly zero (real jobs
+// always carry the presence flag), so one representative zero row stands in
+// for all of them — its score is copied to every padding slot and its
+// gradient accumulates theirs. Training batches are typically dominated by
+// padding (a 128-slot window over a lightly backed-up queue), so the MLP
+// sees a fraction of the rows with bit-identical results.
 func (k *KernelNet) Logits(obs *ag.Tensor) *ag.Tensor {
 	b := checkObs(obs, k.maxObs, k.feat)
-	rows := ag.Reshape(obs, b*k.maxObs, k.feat)
-	scores := k.mlp.Forward(rows) // [B·maxObs, 1]
-	return ag.Reshape(scores, b, k.maxObs)
+	total := b * k.maxObs
+	rows := ag.Reshape(obs, total, k.feat)
+	idx := make([]int, 0, total)
+	pad := -1
+	for i := 0; i < total; i++ {
+		row := rows.Data[i*k.feat : (i+1)*k.feat]
+		zero := true
+		for _, v := range row {
+			if v != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			if pad < 0 {
+				pad = i
+			}
+		} else {
+			idx = append(idx, i)
+		}
+	}
+	if pad < 0 { // no padding anywhere: score the batch as-is
+		scores := k.mlp.Forward(rows) // [B·maxObs, 1]
+		return ag.Reshape(scores, b, k.maxObs)
+	}
+	compact := ag.SelectRows(rows, append(idx, pad))
+	scores := k.mlp.Forward(compact) // [len(idx)+1, 1]
+	full := ag.ScatterRowsFill(scores, idx, total, len(idx))
+	return ag.Reshape(full, b, k.maxObs)
 }
 
 // Params implements Module.

@@ -115,7 +115,8 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	return &s, nil
 }
 
-// CopyParams copies weights from src to dst (same architecture).
+// CopyParams copies weights from src to dst (same architecture). It is
+// SyncParams under the historical name.
 func CopyParams(dst, src Module) error {
-	return restore(dst, blobs(src))
+	return SyncParams(dst, src)
 }

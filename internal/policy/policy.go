@@ -5,7 +5,8 @@
 package policy
 
 import (
-	ag "rlsched/internal/autograd"
+	"sync"
+
 	"rlsched/internal/job"
 	"rlsched/internal/nn"
 	"rlsched/internal/sim"
@@ -14,31 +15,49 @@ import (
 // NetScheduler wraps a policy network as a deterministic sim.Scheduler:
 // it builds the same observation the training environment builds and picks
 // the highest-probability job (no exploration at inference, §IV-B1).
+// Decisions run on the graph-free nn.Inferer fast path with pooled scratch
+// buffers, so Pick is safe for concurrent use and allocation-free in
+// steady state.
 type NetScheduler struct {
 	Net    nn.PolicyNet
+	inf    nn.Inferer
 	maxObs int
 	feat   int
+	pool   sync.Pool // *pickScratch
+}
+
+type pickScratch struct {
+	obs    []float64
+	logits []float64
 }
 
 // NewNetScheduler wraps net.
 func NewNetScheduler(net nn.PolicyNet) *NetScheduler {
 	maxObs, feat := net.Dims()
-	return &NetScheduler{Net: net, maxObs: maxObs, feat: feat}
+	return &NetScheduler{Net: net, inf: nn.AsInferer(net), maxObs: maxObs, feat: feat}
 }
 
 // Pick implements sim.Scheduler.
 func (n *NetScheduler) Pick(visible []*job.Job, now float64, view sim.ClusterView) int {
-	obs := sim.BuildObs(visible, now, view, len(visible), n.maxObs)
-	logits := n.Net.Logits(ag.FromSlice(obs, 1, n.maxObs*n.feat))
+	sc, _ := n.pool.Get().(*pickScratch)
+	if sc == nil {
+		sc = &pickScratch{
+			obs:    make([]float64, n.maxObs*n.feat),
+			logits: make([]float64, n.maxObs),
+		}
+	}
+	sim.BuildObsInto(sc.obs, visible, now, view, len(visible), n.maxObs)
+	n.inf.InferLogits(sc.obs, 1, sc.logits)
 	limit := len(visible)
 	if limit > n.maxObs {
 		limit = n.maxObs
 	}
 	best := 0
 	for j := 1; j < limit; j++ {
-		if logits.Data[j] > logits.Data[best] {
+		if sc.logits[j] > sc.logits[best] {
 			best = j
 		}
 	}
+	n.pool.Put(sc)
 	return best
 }

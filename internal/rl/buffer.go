@@ -1,8 +1,9 @@
 // Package rl implements the reinforcement-learning machinery of the paper:
 // a trajectory buffer with Generalized Advantage Estimation, the PPO
 // actor–critic update (§V-A: OpenAI SpinningUp-style PPO, 80 update
-// iterations per epoch, lr 1e-3), and the trajectory-filtering variance
-// reduction of §IV-C.
+// iterations per epoch, lr 1e-3), the parallel rollout collector driving
+// trajectories through the graph-free inference fast path, and the
+// trajectory-filtering variance reduction of §IV-C.
 package rl
 
 import (
@@ -12,12 +13,17 @@ import (
 
 // Buffer accumulates rollout steps across trajectories within one training
 // epoch and computes GAE(λ) advantages and reward-to-go returns per
-// finished trajectory.
+// finished trajectory. Observations and masks are stored flat (step i's
+// observation at [i·obsDim, (i+1)·obsDim)) so the epoch's batch feeds the
+// PPO update as one contiguous tensor without reassembly.
 type Buffer struct {
 	gamma, lam float64
 
-	Obs   [][]float64
-	Masks [][]bool
+	obsDim int
+	maxObs int
+
+	Obs   []float64
+	Masks []bool
 	Acts  []int
 	Rews  []float64
 	Vals  []float64
@@ -29,29 +35,67 @@ type Buffer struct {
 	pathStart int
 }
 
-// NewBuffer returns a buffer with discount gamma and GAE lambda.
+// NewBuffer returns a buffer with discount gamma and GAE lambda. The
+// observation and mask widths are fixed by the first stored step.
 func NewBuffer(gamma, lam float64) *Buffer {
 	return &Buffer{gamma: gamma, lam: lam}
 }
 
-// Store records one interaction step. The observation and mask slices are
-// retained (the environment allocates fresh ones per step).
+// Store records one interaction step, copying obs and mask into the flat
+// epoch arrays (callers may reuse their buffers immediately).
 func (b *Buffer) Store(obs []float64, mask []bool, act int, rew, val, logp float64) {
-	b.Obs = append(b.Obs, obs)
-	b.Masks = append(b.Masks, mask)
+	b.setDims(len(obs), len(mask))
+	b.Obs = append(b.Obs, obs...)
+	b.Masks = append(b.Masks, mask...)
 	b.Acts = append(b.Acts, act)
 	b.Rews = append(b.Rews, rew)
 	b.Vals = append(b.Vals, val)
 	b.Logps = append(b.Logps, logp)
 }
 
+// StoreRollout appends a whole collected trajectory and closes its path
+// (terminal trajectories bootstrap with 0, the paper's reward shape).
+func (b *Buffer) StoreRollout(r Rollout) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	n := r.Steps()
+	if n == 0 {
+		return nil
+	}
+	if len(r.Obs)%n != 0 || len(r.Masks)%n != 0 {
+		return fmt.Errorf("rl: rollout with ragged buffers (%d obs, %d masks, %d steps)",
+			len(r.Obs), len(r.Masks), n)
+	}
+	b.setDims(len(r.Obs)/n, len(r.Masks)/n)
+	b.Obs = append(b.Obs, r.Obs...)
+	b.Masks = append(b.Masks, r.Masks...)
+	b.Acts = append(b.Acts, r.Acts...)
+	b.Rews = append(b.Rews, r.Rews...)
+	b.Vals = append(b.Vals, r.Vals...)
+	b.Logps = append(b.Logps, r.Logps...)
+	b.FinishPath(0)
+	return nil
+}
+
+func (b *Buffer) setDims(obsDim, maxObs int) {
+	if b.obsDim == 0 && b.maxObs == 0 {
+		b.obsDim, b.maxObs = obsDim, maxObs
+		return
+	}
+	if b.obsDim != obsDim || b.maxObs != maxObs {
+		panic(fmt.Sprintf("rl: buffer dims %dx%d, got step of %dx%d",
+			b.obsDim, b.maxObs, obsDim, maxObs))
+	}
+}
+
 // Len returns the number of stored steps.
-func (b *Buffer) Len() int { return len(b.Obs) }
+func (b *Buffer) Len() int { return len(b.Acts) }
 
 // FinishPath closes the current trajectory, bootstrapping with lastVal for
 // truncated paths (0 for terminal ones), and fills Advs/Rets for its steps.
 func (b *Buffer) FinishPath(lastVal float64) {
-	n := len(b.Obs)
+	n := b.Len()
 	if n == b.pathStart {
 		return
 	}
@@ -77,10 +121,15 @@ func (b *Buffer) FinishPath(lastVal float64) {
 }
 
 // Batch is the training view of a finished epoch's data with normalized
-// advantages.
+// advantages. Obs and Masks are flat row-major arrays — the PPO update
+// wraps Obs in an [N, ObsDim] tensor directly.
 type Batch struct {
-	Obs   [][]float64
-	Masks [][]bool
+	N      int
+	ObsDim int
+	MaxObs int
+
+	Obs   []float64 // N×ObsDim
+	Masks []bool    // N×MaxObs
 	Acts  []int
 	Advs  []float64
 	Rets  []float64
@@ -91,11 +140,11 @@ type Batch struct {
 // variance (the standard PPO variance-reduction trick) and returns the
 // batch. It errors if a trajectory is still open.
 func (b *Buffer) Get() (Batch, error) {
-	if b.pathStart != len(b.Obs) {
+	if b.pathStart != b.Len() {
 		return Batch{}, fmt.Errorf("rl: Get with an unfinished trajectory (%d of %d steps closed)",
-			b.pathStart, len(b.Obs))
+			b.pathStart, b.Len())
 	}
-	if len(b.Obs) == 0 {
+	if b.Len() == 0 {
 		return Batch{}, fmt.Errorf("rl: Get on an empty buffer")
 	}
 	mean, std := meanStd(b.Advs)
@@ -104,12 +153,15 @@ func (b *Buffer) Get() (Batch, error) {
 		advs[i] = (a - mean) / (std + 1e-8)
 	}
 	return Batch{
-		Obs:   b.Obs,
-		Masks: b.Masks,
-		Acts:  b.Acts,
-		Advs:  advs,
-		Rets:  b.Rets,
-		Logps: b.Logps,
+		N:      b.Len(),
+		ObsDim: b.obsDim,
+		MaxObs: b.maxObs,
+		Obs:    b.Obs,
+		Masks:  b.Masks,
+		Acts:   b.Acts,
+		Advs:   advs,
+		Rets:   b.Rets,
+		Logps:  b.Logps,
 	}, nil
 }
 

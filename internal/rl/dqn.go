@@ -20,6 +20,8 @@ type DQN struct {
 	Q      nn.PolicyNet
 	Target nn.PolicyNet
 	cfg    DQNConfig
+	inf    nn.Inferer // graph-free Q fast path for action selection
+	tinf   nn.Inferer // graph-free target fast path for bootstrap targets
 	opt    *optim.Adam
 	replay *Replay
 	obsDim int
@@ -136,6 +138,8 @@ func NewDQN(q, target nn.PolicyNet, cfg DQNConfig) (*DQN, error) {
 		Q:      q,
 		Target: target,
 		cfg:    cfg,
+		inf:    nn.AsInferer(q),
+		tinf:   nn.AsInferer(target),
 		opt:    optim.NewAdam(q.Params(), cfg.LR),
 		replay: NewReplay(cfg.ReplayCap),
 		obsDim: maxObs * feat,
@@ -159,10 +163,11 @@ func (d *DQN) Act(rng *rand.Rand, obs []float64, mask []bool) int {
 	return d.Best(obs, mask)
 }
 
-// Best returns the greedy action (inference mode).
+// Best returns the greedy action (inference mode, graph-free).
 func (d *DQN) Best(obs []float64, mask []bool) int {
-	q := d.Q.Logits(ag.FromSlice(obs, 1, d.obsDim))
-	return argmaxValid(q.Data, mask)
+	q := make([]float64, d.maxObs)
+	d.inf.InferLogits(obs, 1, q)
+	return argmaxValid(q, mask)
 }
 
 func validSlots(mask []bool) []int {
@@ -209,14 +214,16 @@ func (d *DQN) trainStep(rng *rand.Rand) float64 {
 		copy(nextFlat[i*d.obsDim:], t.NextObs)
 		acts[i] = t.Act
 	}
-	// Bootstrapped targets from the frozen network (no gradient).
-	nextQ := d.Target.Logits(ag.FromSlice(nextFlat, n, d.obsDim))
+	// Bootstrapped targets from the frozen network: one batched graph-free
+	// forward pass (no gradient flows through targets by construction).
+	nextQ := make([]float64, n*d.maxObs)
+	d.tinf.InferLogits(nextFlat, n, nextQ)
 	targets := make([]float64, n)
 	for i, t := range batch {
 		y := t.Rew
 		if !t.Done {
-			best := argmaxValid(nextQ.Data[i*d.maxObs:(i+1)*d.maxObs], t.NextMask)
-			y += d.cfg.Gamma * nextQ.Data[i*d.maxObs+best]
+			best := argmaxValid(nextQ[i*d.maxObs:(i+1)*d.maxObs], t.NextMask)
+			y += d.cfg.Gamma * nextQ[i*d.maxObs+best]
 		}
 		targets[i] = y
 	}

@@ -63,11 +63,14 @@ func (c PPOConfig) Defaults() PPOConfig {
 }
 
 // PPO couples a policy network and a value network with their optimizers
-// (the actor–critic model of §IV-B).
+// (the actor–critic model of §IV-B). The autograd graph is built only
+// inside Update; action selection (SelectAction/BestAction) runs on the
+// graph-free inference fast path shared with the serving daemon.
 type PPO struct {
 	Policy nn.PolicyNet
 	Value  *nn.ValueNet
 	cfg    PPOConfig
+	inf    nn.Inferer
 	piOpt  *optim.Adam
 	vOpt   *optim.Adam
 	obsDim int
@@ -82,6 +85,7 @@ func NewPPO(policy nn.PolicyNet, value *nn.ValueNet, cfg PPOConfig) *PPO {
 		Policy: policy,
 		Value:  value,
 		cfg:    cfg,
+		inf:    nn.AsInferer(policy),
 		piOpt:  optim.NewAdam(policy.Params(), cfg.PiLR),
 		vOpt:   optim.NewAdam(value.Params(), cfg.VLR),
 		obsDim: maxObs * feat,
@@ -92,51 +96,36 @@ func NewPPO(policy nn.PolicyNet, value *nn.ValueNet, cfg PPOConfig) *PPO {
 // Config returns the resolved hyper-parameters.
 func (p *PPO) Config() PPOConfig { return p.cfg }
 
-// maskedLogits runs the policy on a batch and pushes invalid slots to
-// -inf. obs is [B, obsDim] flat data; masks is per-row validity.
-func (p *PPO) maskedLogits(obs *ag.Tensor, masks [][]bool) *ag.Tensor {
-	logits := p.Policy.Logits(obs)
-	pen := ag.New(logits.Shape...)
-	for i, mask := range masks {
-		for j := 0; j < p.maxObs; j++ {
-			if !mask[j] {
-				pen.Data[i*p.maxObs+j] = maskPenalty
-			}
-		}
-	}
-	return ag.Add(logits, pen)
+// Inferer returns the policy's graph-free fast path (shared with rollout
+// collection and serving).
+func (p *PPO) Inferer() nn.Inferer { return p.inf }
+
+// maskedLogProbs runs the policy on a batch, pushes invalid slots to -inf
+// and log-softmaxes row-wise, all through the fused masking op. obs is
+// [B, obsDim]; masks is B×maxObs flat validity.
+func (p *PPO) maskedLogProbs(obs *ag.Tensor, masks []bool) *ag.Tensor {
+	return ag.MaskedLogSoftmax(p.Policy.Logits(obs), masks, maskPenalty)
 }
 
 // SelectAction samples an action from the masked policy for a single
 // observation, returning the action, its log-probability and the critic's
 // value estimate. Used during training rollouts (§IV-B1: "during training,
-// it is sampled ... to keep exploring").
+// it is sampled ... to keep exploring"). The forward passes are graph-free.
 func (p *PPO) SelectAction(rng *rand.Rand, obs []float64, mask []bool) (act int, logp, val float64) {
-	t := ag.FromSlice(obs, 1, p.obsDim)
-	logProbs := ag.LogSoftmax(p.maskedLogits(t, [][]bool{mask}))
-	u := rng.Float64()
-	acc := 0.0
-	act = -1
-	for j := 0; j < p.maxObs; j++ {
-		acc += math.Exp(logProbs.Data[j])
-		if u <= acc {
-			act = j
-			break
-		}
-	}
-	if act < 0 { // numeric tail: fall back to the best valid slot
-		act = argmaxValid(logProbs.Data, mask)
-	}
-	val = p.Value.Value(t).Item()
-	return act, logProbs.Data[act], val
+	logits := make([]float64, p.maxObs)
+	p.inf.InferLogits(obs, 1, logits)
+	act, logp = sampleMasked(rng, logits, mask)
+	var v [1]float64
+	p.Value.InferValues(obs, 1, v[:])
+	return act, logp, v[0]
 }
 
 // BestAction returns the argmax action (inference mode: "during testing,
 // it is directly used to select the job with the highest probability").
 func (p *PPO) BestAction(obs []float64, mask []bool) int {
-	t := ag.FromSlice(obs, 1, p.obsDim)
-	logits := p.maskedLogits(t, [][]bool{mask})
-	return argmaxValid(logits.Data, mask)
+	logits := make([]float64, p.maxObs)
+	p.inf.InferLogits(obs, 1, logits)
+	return argmaxValid(logits, mask)
 }
 
 func argmaxValid(scores []float64, mask []bool) int {
@@ -167,14 +156,12 @@ type UpdateStats struct {
 
 // Update runs the clipped-surrogate policy updates (with KL early
 // stopping) followed by the value-function regression, exactly the
-// two-phase per-epoch schedule of §V-A.
+// two-phase per-epoch schedule of §V-A. The batch's flat observation array
+// wraps into one [N, obsDim] tensor, so every update iteration is a single
+// batched forward/backward pass — one MatMul per layer, not N.
 func (p *PPO) Update(batch Batch) UpdateStats {
-	n := len(batch.Obs)
-	flat := make([]float64, n*p.obsDim)
-	for i, o := range batch.Obs {
-		copy(flat[i*p.obsDim:], o)
-	}
-	obs := ag.FromSlice(flat, n, p.obsDim)
+	n := batch.N
+	obs := ag.FromSlice(batch.Obs, n, p.obsDim)
 	advT := ag.FromSlice(batch.Advs, n, 1)
 	oldLogpT := ag.FromSlice(batch.Logps, n, 1)
 	retT := ag.FromSlice(batch.Rets, n, 1)
@@ -182,7 +169,7 @@ func (p *PPO) Update(batch Batch) UpdateStats {
 	var stats UpdateStats
 	// --- policy ---
 	for it := 0; it < p.cfg.TrainPiIters; it++ {
-		logProbs := ag.LogSoftmax(p.maskedLogits(obs, batch.Masks))
+		logProbs := p.maskedLogProbs(obs, batch.Masks)
 		logp := ag.GatherRows(logProbs, batch.Acts)
 		ratio := ag.Exp(ag.Sub(logp, oldLogpT))
 		surr1 := ag.Mul(ratio, advT)
@@ -191,15 +178,24 @@ func (p *PPO) Update(batch Batch) UpdateStats {
 		loss := ag.Scale(objective, -1)
 
 		// Entropy of the masked distribution, averaged per row:
-		// H = −Σ p·log p. Mean over all cells × maxObs gives the row sum.
-		ent := ag.Scale(ag.Mean(ag.Mul(ag.Exp(logProbs), logProbs)), -float64(p.maxObs))
+		// H = −Σ p·log p. With no entropy bonus in the loss it is pure
+		// reporting, computed without touching the graph.
+		var entropy float64
 		if p.cfg.EntCoef != 0 {
+			ent := ag.Scale(ag.Mean(ag.Mul(ag.Exp(logProbs), logProbs)), -float64(p.maxObs))
 			loss = ag.Sub(loss, ag.Scale(ent, p.cfg.EntCoef))
+			entropy = ent.Item()
+		} else {
+			var s float64
+			for _, lp := range logProbs.Data {
+				s += math.Exp(lp) * lp
+			}
+			entropy = -s / float64(n)
 		}
 
 		kl := mean(sub(batch.Logps, logp.Data))
 		stats.KL = kl
-		stats.Entropy = ent.Item()
+		stats.Entropy = entropy
 		stats.PolicyLoss = loss.Item()
 		if it > 0 && kl > 1.5*p.cfg.TargetKL {
 			stats.EarlyStop = true

@@ -13,7 +13,6 @@ import (
 	"os"
 	"sync"
 
-	ag "rlsched/internal/autograd"
 	"rlsched/internal/job"
 	"rlsched/internal/nn"
 	"rlsched/internal/sched"
@@ -72,7 +71,7 @@ type Engine interface {
 // pays off.
 type PolicyEngine struct {
 	net    nn.PolicyNet
-	inf    nn.Inferer // non-nil when net has the graph-free fast path
+	inf    nn.Inferer // the shared graph-free fast path (nn.AsInferer)
 	maxObs int
 	feat   int
 	pool   sync.Pool // *policyScratch
@@ -84,15 +83,25 @@ type policyScratch struct {
 }
 
 // NewPolicyEngine wraps a policy network built for sim.JobFeatures
-// features per job (the shared queue-state encoding).
+// features per job (the shared queue-state encoding). The decision path is
+// the same nn.Inferer fast path training rollouts use — every built-in
+// architecture is graph-free here.
 func NewPolicyEngine(net nn.PolicyNet) (*PolicyEngine, error) {
 	maxObs, feat := net.Dims()
 	if feat != sim.JobFeatures {
 		return nil, fmt.Errorf("serve: policy expects %d features per job, encoder produces %d",
 			feat, sim.JobFeatures)
 	}
-	inf, _ := net.(nn.Inferer)
-	return &PolicyEngine{net: net, inf: inf, maxObs: maxObs, feat: feat}, nil
+	return &PolicyEngine{net: net, inf: nn.AsInferer(net), maxObs: maxObs, feat: feat}, nil
+}
+
+// SyncFrom refreshes the engine's weights in place from a same-architecture
+// policy (a cheap alternative to materializing a snapshot when a training
+// loop serves its own policy). The caller must guarantee no DecideBatch is
+// in flight — a live server should keep swapping whole engines atomically
+// via /reload instead.
+func (e *PolicyEngine) SyncFrom(src nn.PolicyNet) error {
+	return nn.SyncParams(e.net, src)
 }
 
 // Name implements Engine.
@@ -124,12 +133,7 @@ func (e *PolicyEngine) DecideBatch(states []*QueueState, out []Decision) {
 		}
 		sim.BuildObsInto(obs[i*rowLen:(i+1)*rowLen], visible, st.Now, st.View, st.queueLen(), e.maxObs)
 	}
-	if e.inf != nil {
-		e.inf.InferLogits(obs, b, logits)
-	} else {
-		res := e.net.Logits(ag.FromSlice(obs, b, rowLen))
-		copy(logits, res.Data)
-	}
+	e.inf.InferLogits(obs, b, logits)
 	for i, st := range states {
 		row := logits[i*e.maxObs : (i+1)*e.maxObs]
 		limit := len(st.Jobs)

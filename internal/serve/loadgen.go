@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rlsched/internal/job"
 	"rlsched/internal/trace"
 )
 
@@ -131,6 +132,25 @@ func appendState(b []byte, st *QueueState) []byte {
 	return append(b, ']', '}')
 }
 
+// fillState populates st with a synthetic queue state sampled into the
+// caller's job buffer: clamped to the cluster so states stay schedulable,
+// and times rounded to whole seconds (SWF precision) — shorter wire
+// numbers parse measurably faster at 10k states/sec.
+func fillState(st *QueueState, tr *trace.Trace, rng *rand.Rand, jobs []*job.Job, queueJobs int) {
+	jobs = tr.SampleQueueInto(rng, jobs)
+	for _, j := range jobs {
+		if j.RequestedProcs > tr.Processors {
+			j.RequestedProcs = tr.Processors
+		}
+		j.SubmitTime = math.Round(j.SubmitTime)
+		j.RequestedTime = math.Max(1, math.Round(j.RequestedTime))
+	}
+	st.Jobs = jobs
+	st.Now = 0
+	st.View = ClusterViewOf(rng.Intn(tr.Processors+1), tr.Processors)
+	st.QueueLen = queueJobs + rng.Intn(queueJobs)
+}
+
 // SyntheticStates samples n queue states of queueJobs pending jobs each
 // from the preset trace, with a plausible cluster view: free processors
 // drawn uniformly and now = 0 (job submit times are in the past).
@@ -142,25 +162,44 @@ func SyntheticStates(preset string, n, queueJobs int, seed int64) ([]*QueueState
 	rng := rand.New(rand.NewSource(seed))
 	states := make([]*QueueState, n)
 	for i := range states {
-		jobs := tr.SampleQueue(rng, queueJobs)
-		for _, j := range jobs {
-			// Clamp requests to the cluster so states stay schedulable,
-			// and round times to whole seconds (SWF precision) — shorter
-			// wire numbers parse measurably faster at 10k states/sec.
-			if j.RequestedProcs > tr.Processors {
-				j.RequestedProcs = tr.Processors
-			}
-			j.SubmitTime = math.Round(j.SubmitTime)
-			j.RequestedTime = math.Max(1, math.Round(j.RequestedTime))
-		}
-		states[i] = &QueueState{
-			Jobs:     jobs,
-			Now:      0,
-			View:     ClusterViewOf(rng.Intn(tr.Processors+1), tr.Processors),
-			QueueLen: queueJobs + rng.Intn(queueJobs),
-		}
+		states[i] = &QueueState{}
+		fillState(states[i], tr, rng, make([]*job.Job, queueJobs), queueJobs)
 	}
 	return states, nil
+}
+
+// syntheticBodies pre-encodes the request bodies the load generator cycles
+// through. Unlike SyntheticStates it never retains a queue state: one job
+// buffer and one QueueState are reused across every sampled state
+// (trace.SampleQueueInto), so body preparation costs one allocation per
+// body instead of one queue of cloned jobs per state.
+func syntheticBodies(cfg LoadConfig) ([][]byte, error) {
+	tr := trace.Preset(cfg.Preset, 4*cfg.QueueJobs+cfg.Bodies*cfg.StatesPerReq, cfg.Seed)
+	if tr == nil {
+		return nil, fmt.Errorf("serve: unknown preset %q", cfg.Preset)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jobs := make([]*job.Job, cfg.QueueJobs)
+	var st QueueState
+	bodies := make([][]byte, cfg.Bodies)
+	for i := range bodies {
+		var b []byte
+		if cfg.StatesPerReq > 1 {
+			b = append(b, `{"states":[`...)
+		}
+		for s := 0; s < cfg.StatesPerReq; s++ {
+			if s > 0 {
+				b = append(b, ',')
+			}
+			fillState(&st, tr, rng, jobs, cfg.QueueJobs)
+			b = appendState(b, &st)
+		}
+		if cfg.StatesPerReq > 1 {
+			b = append(b, ']', '}')
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
 }
 
 // RunLoad hammers the daemon and reports achieved throughput. The request
@@ -169,13 +208,9 @@ func SyntheticStates(preset string, n, queueJobs int, seed int64) ([]*QueueState
 // competes with the daemon for CPU.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
-	states, err := SyntheticStates(cfg.Preset, cfg.Bodies*cfg.StatesPerReq, cfg.QueueJobs, cfg.Seed)
+	bodies, err := syntheticBodies(cfg)
 	if err != nil {
 		return nil, err
-	}
-	bodies := make([][]byte, cfg.Bodies)
-	for i := range bodies {
-		bodies[i] = EncodeStates(states[i*cfg.StatesPerReq : (i+1)*cfg.StatesPerReq])
 	}
 
 	transport := &http.Transport{

@@ -431,3 +431,80 @@ func TestDecideAfterClose(t *testing.T) {
 		t.Fatal("decide after close should error")
 	}
 }
+
+// TestSyntheticBodiesMatchStates: the allocation-free body builder must
+// produce byte-identical request bodies to encoding the retained states —
+// same RNG stream, same wire format, one reused queue buffer.
+func TestSyntheticBodiesMatchStates(t *testing.T) {
+	for _, statesPerReq := range []int{1, 3} { // bare state and {"states":[...]} wire shapes
+		cfg := LoadConfig{Preset: "Lublin-1", QueueJobs: 32, Bodies: 6, StatesPerReq: statesPerReq, Seed: 9}.withDefaults()
+		bodies, err := syntheticBodies(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states, err := SyntheticStates(cfg.Preset, cfg.Bodies*cfg.StatesPerReq, cfg.QueueJobs, cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range bodies {
+			want := EncodeStates(states[i*cfg.StatesPerReq : (i+1)*cfg.StatesPerReq])
+			if string(bodies[i]) != string(want) {
+				t.Fatalf("statesPerReq=%d body %d differs:\n%s\nvs\n%s", statesPerReq, i, bodies[i], want)
+			}
+		}
+	}
+}
+
+// TestPolicyEngineSyncFrom: refreshing weights in place from a trained
+// same-architecture policy must change the engine's scores to the donor's.
+func TestPolicyEngineSyncFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := nn.NewKernelNet(rng, sim.DefaultMaxObserve, sim.JobFeatures, nil)
+	donor := nn.NewKernelNet(rng, sim.DefaultMaxObserve, sim.JobFeatures, nil)
+	eng, err := NewPolicyEngine(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewPolicyEngine(donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := SyntheticStates("Lublin-1", 4, 32, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range states {
+		st.WantScores = true
+	}
+	before := make([]Decision, len(states))
+	eng.DecideBatch(states, before)
+	if err := eng.SyncFrom(donor); err != nil {
+		t.Fatal(err)
+	}
+	after := make([]Decision, len(states))
+	eng.DecideBatch(states, after)
+	wantOut := make([]Decision, len(states))
+	want.DecideBatch(states, wantOut)
+	changed := false
+	for i := range after {
+		if after[i].Pick != wantOut[i].Pick {
+			t.Fatalf("state %d: pick %d after sync, donor engine picks %d", i, after[i].Pick, wantOut[i].Pick)
+		}
+		for j := range after[i].Scores {
+			if after[i].Scores[j] != wantOut[i].Scores[j] {
+				t.Fatalf("state %d score %d differs from donor after SyncFrom", i, j)
+			}
+			if after[i].Scores[j] != before[i].Scores[j] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("SyncFrom left every score unchanged; weights were not refreshed")
+	}
+	// Architecture mismatch must surface as an error.
+	small := nn.NewKernelNet(rng, sim.DefaultMaxObserve, sim.JobFeatures, []int{4})
+	if err := eng.SyncFrom(small); err == nil {
+		t.Fatal("SyncFrom across architectures must error")
+	}
+}

@@ -60,8 +60,18 @@ func (e *Env) Goal() metrics.Kind { return e.goal }
 // returns the initial observation. It returns an error for invalid
 // sequences.
 func (e *Env) Reset(seq []*job.Job) (Obs, error) {
-	if err := e.sim.Load(seq); err != nil {
+	if err := e.ResetOnly(seq); err != nil {
 		return nil, err
+	}
+	return e.observe(), nil
+}
+
+// ResetOnly is Reset without materializing the initial observation — the
+// rollout collector builds observations into its own buffers via
+// ObserveInto instead.
+func (e *Env) ResetOnly(seq []*job.Job) error {
+	if err := e.sim.Load(seq); err != nil {
+		return err
 	}
 	// Advance until a decision is needed.
 	for e.sim.PendingCount() == 0 && !e.sim.Done() {
@@ -69,17 +79,26 @@ func (e *Env) Reset(seq []*job.Job) (Obs, error) {
 			break
 		}
 	}
-	return e.observe(), nil
+	return nil
 }
 
 // Step schedules the visible job at slot action (invalid or padded slots
 // fall back to slot 0), advances to the next decision point, and returns
 // the next observation, the reward, and whether the sequence is finished.
 func (e *Env) Step(action int) (Obs, float64, bool) {
+	rew, done := e.StepOnly(action)
+	return e.observe(), rew, done
+}
+
+// StepOnly is Step without materializing the next observation. Rollout
+// collection calls it in a tight loop, reading state through ObserveInto
+// only when a decision is actually needed (in particular the terminal
+// observation, which no learner consumes, is never built).
+func (e *Env) StepOnly(action int) (float64, bool) {
 	visible := e.sim.Visible()
 	if len(visible) == 0 {
 		// Terminal state already reached.
-		return e.observe(), 0, true
+		return 0, true
 	}
 	if action < 0 || action >= len(visible) {
 		action = 0
@@ -95,11 +114,11 @@ func (e *Env) Step(action int) (Obs, float64, bool) {
 		}
 		res := e.sim.result()
 		if e.reward != nil {
-			return e.observe(), e.reward(res), true
+			return e.reward(res), true
 		}
-		return e.observe(), metrics.Reward(e.goal, res), true
+		return metrics.Reward(e.goal, res), true
 	}
-	return e.observe(), 0, false
+	return 0, false
 }
 
 // Mask returns validity flags for each action slot: true where a real
@@ -109,6 +128,18 @@ func (e *Env) Step(action int) (Obs, float64, bool) {
 // so the agent never faces an all-invalid action space.
 func (e *Env) Mask() []bool {
 	m := make([]bool, e.MaxObserve())
+	e.MaskInto(m)
+	return m
+}
+
+// MaskInto is Mask writing into a caller-owned buffer of MaxObserve flags.
+func (e *Env) MaskInto(m []bool) {
+	if len(m) != e.MaxObserve() {
+		panic("sim: MaskInto buffer has wrong size")
+	}
+	for i := range m {
+		m[i] = false
+	}
 	visible := e.sim.Visible()
 	any := false
 	for i, j := range visible {
@@ -122,7 +153,13 @@ func (e *Env) Mask() []bool {
 			m[i] = true
 		}
 	}
-	return m
+}
+
+// ObserveInto builds the current observation into a caller-owned buffer of
+// MaxObserve·JobFeatures values, the zero-allocation twin of the
+// observation Reset/Step return.
+func (e *Env) ObserveInto(dst Obs) {
+	BuildObsInto(dst, e.sim.Visible(), e.sim.Now(), e.sim.View(), e.sim.PendingCount(), e.MaxObserve())
 }
 
 // Result returns the finished run's jobs and utilization.

@@ -100,16 +100,31 @@ func (t *Trace) SampleQueue(rng *rand.Rand, n int) []*job.Job {
 	if len(t.Jobs) == 0 || n <= 0 {
 		return nil
 	}
-	out := make([]*job.Job, n)
-	for i := range out {
-		out[i] = t.Jobs[rng.Intn(len(t.Jobs))].Clone()
+	return t.SampleQueueInto(rng, make([]*job.Job, n))
+}
+
+// SampleQueueInto is SampleQueue filling a caller-owned buffer: dst's job
+// structs are reused in place (allocated only where nil), so a load
+// generator drawing thousands of queue states amortizes its allocations to
+// zero. Returns dst. The sampled values overwrite every field, so a buffer
+// may be recycled across calls freely — but not retained across calls.
+func (t *Trace) SampleQueueInto(rng *rand.Rand, dst []*job.Job) []*job.Job {
+	if len(t.Jobs) == 0 || len(dst) == 0 {
+		return dst
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].SubmitTime < out[j].SubmitTime })
-	base := out[len(out)-1].SubmitTime
-	for _, j := range out {
+	for i := range dst {
+		if dst[i] == nil {
+			dst[i] = new(job.Job)
+		}
+		*dst[i] = *t.Jobs[rng.Intn(len(t.Jobs))]
+		dst[i].Reset()
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i].SubmitTime < dst[j].SubmitTime })
+	base := dst[len(dst)-1].SubmitTime
+	for _, j := range dst {
 		j.SubmitTime -= base
 	}
-	return out
+	return dst
 }
 
 // Stats summarizes the trace in the form of Table II.

@@ -283,3 +283,29 @@ func TestSampleQueue(t *testing.T) {
 		}
 	}
 }
+
+func TestSampleQueueIntoReusesBuffer(t *testing.T) {
+	tr := Preset("Lublin-1", 300, 7)
+	rng1 := rand.New(rand.NewSource(3))
+	rng2 := rand.New(rand.NewSource(3))
+	buf := make([]*job.Job, 16)
+	first := tr.SampleQueueInto(rng1, buf)
+	fresh := tr.SampleQueue(rng2, 16)
+	for i := range fresh {
+		if first[i].ID != fresh[i].ID || first[i].SubmitTime != fresh[i].SubmitTime ||
+			first[i].RequestedProcs != fresh[i].RequestedProcs {
+			t.Fatalf("job %d differs between Into and fresh sampling", i)
+		}
+	}
+	// Second fill reuses the same job structs — no new allocations.
+	ptrs := map[*job.Job]bool{}
+	for _, j := range first {
+		ptrs[j] = true
+	}
+	second := tr.SampleQueueInto(rng1, buf)
+	for i, j := range second {
+		if !ptrs[j] {
+			t.Fatalf("fill %d allocated a new job struct", i)
+		}
+	}
+}
