@@ -1,0 +1,68 @@
+package main_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rlsched/internal/fleet"
+	"rlsched/internal/job"
+	"rlsched/internal/nn"
+	"rlsched/internal/sim"
+	"rlsched/internal/trace"
+)
+
+// BenchmarkFleetPlace measures the placement-decision hot path: one
+// filter/score pipeline pass (capacity predicate, RL marginal-impact
+// scorer through the graph-free inference path, queue-wait prior) over an
+// 8-cluster heterogeneous fleet snapshot. placements/s is the headline
+// number of the placement subsystem — the rate one fleet router shard can
+// route arriving jobs.
+func BenchmarkFleetPlace(b *testing.B) {
+	const maxObs = sim.DefaultMaxObserve
+	rng := rand.New(rand.NewSource(21))
+	net := nn.NewKernelNet(rng, maxObs, sim.JobFeatures, nil)
+	pipeline, err := fleet.RLPipeline(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	tr := trace.Preset("Lublin-1", 2048, 21)
+	sizes := []int{256, 256, 128, 128, 128, 64, 64, 64}
+	cands := make([]*fleet.Candidate, len(sizes))
+	for i, procs := range sizes {
+		queue := tr.SampleQueue(rng, 8+rng.Intn(25))
+		pendingWork := 0.0
+		for _, j := range queue {
+			if j.RequestedProcs > procs {
+				j.RequestedProcs = procs
+			}
+			pendingWork += j.RequestedTime * float64(j.RequestedProcs)
+		}
+		cands[i] = &fleet.Candidate{
+			Index:       i,
+			Name:        "c",
+			View:        sim.ClusterView{FreeProcs: rng.Intn(procs + 1), TotalProcs: procs},
+			Visible:     queue,
+			Pending:     len(queue),
+			PendingWork: pendingWork,
+		}
+	}
+	jobs := make([]*job.Job, 64)
+	for i := range jobs {
+		q := tr.SampleQueue(rng, 1)
+		jobs[i] = q[0]
+		if jobs[i].RequestedProcs > 256 {
+			jobs[i].RequestedProcs = 256
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if k := pipeline.Place(jobs[i%len(jobs)], cands); k < 0 {
+			b.Fatal("placement failed")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "placements/s")
+}

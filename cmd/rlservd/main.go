@@ -22,6 +22,22 @@
 //
 //	curl -s -X POST localhost:9090/reload -d '{"model": "model-v2.json"}'
 //
+// Fleet mode shards one engine per cluster and adds the placement
+// endpoint — repeat -shard per member:
+//
+//	rlservd -shard name=large,procs=256,model=model.json \
+//	        -shard name=small,procs=64,policy=SJF
+//
+//	curl -s localhost:9090/place -d '{
+//	  "job": [0, 3600, 96],
+//	  "clusters": [{"name": "large", "free_procs": 200, "total_procs": 256, "jobs": []},
+//	               {"name": "small", "free_procs": 64,  "total_procs": 64,  "jobs": []}]}'
+//
+// Per-shard decisions and hot swaps:
+//
+//	curl -s 'localhost:9090/v1/decide?cluster=small' -d '...'
+//	curl -s -X POST localhost:9090/reload -d '{"cluster": "small", "policy": "F1"}'
+//
 // Observe:
 //
 //	curl -s localhost:9090/metrics
@@ -34,11 +50,47 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"rlsched/internal/serve"
 )
+
+// shardFlags parses repeated -shard "name=X,procs=N,model=PATH|policy=NAME"
+// values into shard configurations.
+type shardFlags []serve.ShardConfig
+
+func (s *shardFlags) String() string { return fmt.Sprintf("%d shards", len(*s)) }
+
+func (s *shardFlags) Set(v string) error {
+	var sc serve.ShardConfig
+	for _, kv := range strings.Split(v, ",") {
+		k, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("shard field %q wants key=value", kv)
+		}
+		switch k {
+		case "name":
+			sc.Name = val
+		case "procs":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("shard procs %q: %w", val, err)
+			}
+			sc.Procs = n
+		case "model":
+			sc.ModelPath = val
+		case "policy":
+			sc.PolicyName = val
+		default:
+			return fmt.Errorf("unknown shard field %q (name|procs|model|policy)", k)
+		}
+	}
+	*s = append(*s, sc)
+	return nil
+}
 
 func main() {
 	model := flag.String("model", "", "model snapshot path (rlsched train output)")
@@ -48,6 +100,11 @@ func main() {
 		"how long a lone request waits for company before a solo forward pass")
 	workers := flag.Int("workers", 0, "decision workers (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("max-batch", 64, "max queue states per forward pass")
+	var shards shardFlags
+	flag.Var(&shards, "shard",
+		"fleet shard spec name=X,procs=N,model=PATH|policy=NAME (repeatable; enables /place)")
+	placeRouter := flag.String("place-router", "",
+		"fleet placement pipeline: engine (default) | least-loaded | binpack")
 	flag.Parse()
 
 	srv, err := serve.NewServer(serve.Config{
@@ -56,6 +113,8 @@ func main() {
 		Workers:     *workers,
 		BatchWindow: *batchWindow,
 		MaxBatch:    *maxBatch,
+		Shards:      shards,
+		PlaceRouter: *placeRouter,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rlservd: %v\n", err)
@@ -69,8 +128,13 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	fmt.Printf("rlservd: serving policy %q on %s (batch-window=%v max-batch=%d)\n",
-		srv.Engine().Name(), *addr, *batchWindow, *maxBatch)
+	if names := srv.Shards(); len(names) > 0 {
+		fmt.Printf("rlservd: fleet mode, shards %v, serving policy %q on %s (batch-window=%v max-batch=%d)\n",
+			names, srv.Engine().Name(), *addr, *batchWindow, *maxBatch)
+	} else {
+		fmt.Printf("rlservd: serving policy %q on %s (batch-window=%v max-batch=%d)\n",
+			srv.Engine().Name(), *addr, *batchWindow, *maxBatch)
+	}
 
 	select {
 	case err := <-done:

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -27,6 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"table2", "table5", "table6", "table7", "table8", "table9", "table10", "table11",
 		"ablation-backfill", "ablation-kernel", "ablation-obswindow", "ablation-dqn",
+		"fleet-placement",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -240,6 +242,54 @@ func TestAblations(t *testing.T) {
 		default:
 			t.Errorf("%s produced an unknown artifact type", id)
 		}
+	}
+}
+
+// TestFleetPlacement: the placement experiment must produce both scenario
+// tables (steady + workload shift), compare all five routers, verify its
+// own determinism note, and show load-aware routing beating random on
+// fleet-wide bounded slowdown.
+func TestFleetPlacement(t *testing.T) {
+	arts, err := Run("fleet-placement", ultraQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 2 {
+		t.Fatalf("fleet-placement artifacts = %d, want steady + shift", len(arts))
+	}
+	routers := []string{"random", "round-robin", "least-loaded", "binpack", "rl-scored"}
+	bsld := map[string]float64{}
+	for ai, a := range arts {
+		tab := a.(*Table)
+		if len(tab.Rows) != len(routers) {
+			t.Fatalf("table %d rows = %d, want %d routers", ai, len(tab.Rows), len(routers))
+		}
+		for i, r := range tab.Rows {
+			if r[0] != routers[i] {
+				t.Fatalf("table %d row %d = %q, want %q", ai, i, r[0], routers[i])
+			}
+			if ai == 0 {
+				var v float64
+				if _, err := fmt.Sscanf(r[1], "%f", &v); err != nil {
+					t.Fatalf("row %q bsld cell %q: %v", r[0], r[1], err)
+				}
+				bsld[r[0]] = v
+			}
+		}
+	}
+	if bsld["binpack"] >= bsld["random"] && bsld["rl-scored"] >= bsld["random"] {
+		t.Errorf("neither binpack (%.2f) nor rl-scored (%.2f) beat random (%.2f) on fleet bsld",
+			bsld["binpack"], bsld["rl-scored"], bsld["random"])
+	}
+	last := arts[1].(*Table)
+	found := false
+	for _, n := range last.Notes {
+		if strings.Contains(n, "determinism: assignments reproduced exactly") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("determinism note missing: %v", last.Notes)
 	}
 }
 

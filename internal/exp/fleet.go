@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rlsched/internal/fleet"
+	"rlsched/internal/metrics"
+	"rlsched/internal/sched"
+	"rlsched/internal/sim"
+	"rlsched/internal/trace"
+)
+
+func init() {
+	registry["fleet-placement"] = FleetPlacement
+}
+
+// fleetMembers builds the heterogeneous evaluation fleet: a large cluster
+// scheduled by the trained RL policy and two smaller clusters running
+// heuristics — the "trained kernel net or heuristic per member" setting of
+// the placement layer. Fresh simulators per call; schedulers may be
+// shared across calls (placement is serial).
+func fleetMembers(o Options, rlSched sim.Scheduler) []fleet.MemberConfig {
+	return []fleet.MemberConfig{
+		{Name: "large-256", Sim: sim.Config{Processors: 256, MaxObserve: o.MaxObserve}, Scheduler: rlSched},
+		{Name: "mid-128", Sim: sim.Config{Processors: 128, MaxObserve: o.MaxObserve}, Scheduler: sched.SJF()},
+		{Name: "small-64", Sim: sim.Config{Processors: 64, MaxObserve: o.MaxObserve}, Scheduler: sched.F1()},
+	}
+}
+
+// fleetStreams samples the shared evaluation arrival streams: every router
+// is measured on identical workloads (fresh clones per call, since a fleet
+// run consumes its stream).
+func fleetStreams(o Options, steady, shift *trace.Trace) [][]*trace.Trace {
+	rng := rand.New(rand.NewSource(o.Seed + 4000))
+	streams := make([][]*trace.Trace, 2)
+	for s := 0; s < o.EvalNSeq; s++ {
+		n := o.EvalSeqLen
+		if n > steady.Len() {
+			n = steady.Len()
+		}
+		w1 := steady.SampleWindow(rng, n)
+		// Workload shift: the arrival regime flips mid-stream from the
+		// steady trace to the faster, smaller-job shift trace.
+		h1 := steady.SampleWindow(rng, n/2)
+		h2 := shift.SampleWindow(rng, n-n/2)
+		streams[0] = append(streams[0], &trace.Trace{Name: "steady", Processors: steady.Processors, Jobs: w1})
+		streams[1] = append(streams[1], trace.Concat("shifted",
+			&trace.Trace{Name: "w1", Processors: steady.Processors, Jobs: h1},
+			&trace.Trace{Name: "w2", Processors: shift.Processors, Jobs: h2}))
+	}
+	return streams
+}
+
+// FleetPlacement compares placement routers — random, round-robin,
+// least-loaded, binpack and RL-scored — over a heterogeneous fleet on
+// fleet-wide bounded slowdown and utilization, for a steady arrival
+// stream and a workload-shift stream. The placement path is strictly
+// serial in arrival order, so every router's assignments are
+// deterministic for a fixed seed regardless of worker count (the RL
+// training behind the policy is itself worker-count independent); the
+// determinism note at the bottom is verified per run.
+func FleetPlacement(o Options) ([]Artifact, error) {
+	cache := newTraceCache(o)
+	agent, _, err := trainRL(cache, o, "Lublin-1", metrics.BoundedSlowdown, false, false)
+	if err != nil {
+		return nil, err
+	}
+	rlSched := agent.Scheduler()
+
+	type routerCase struct {
+		name  string
+		build func() (fleet.Router, error)
+	}
+	routers := []routerCase{
+		{"random", func() (fleet.Router, error) { return fleet.NewRandom(o.Seed + 17), nil }},
+		{"round-robin", func() (fleet.Router, error) { return fleet.NewRoundRobin(), nil }},
+		{"least-loaded", func() (fleet.Router, error) { return fleet.LeastLoadedPipeline(), nil }},
+		{"binpack", func() (fleet.Router, error) { return fleet.BinpackPipeline(), nil }},
+		{"rl-scored", func() (fleet.Router, error) { return fleet.RLPipeline(agent.PPO().Policy) }},
+	}
+
+	scenarios := []string{"steady (Lublin-1)", "workload shift (Lublin-1 → Lublin-2)"}
+	var arts []Artifact
+	deterministic := true
+	for si, scenario := range scenarios {
+		t := &Table{
+			Title:  fmt.Sprintf("Fleet placement, %s: %d × %d-job streams over [256 RL, 128 SJF, 64 F1]", scenario, o.EvalNSeq, o.EvalSeqLen),
+			Header: []string{"Router", "fleet bsld", "fleet util", "large/mid/small"},
+		}
+		for _, rc := range routers {
+			router, err := rc.build()
+			if err != nil {
+				return nil, err
+			}
+			f, err := fleet.New(fleetMembers(o, rlSched), router)
+			if err != nil {
+				return nil, err
+			}
+			// Streams are resampled identically per router (same seed).
+			streams := fleetStreams(o, cache.get("Lublin-1"), cache.get("Lublin-2"))[si]
+			var bsldSum, utilSum float64
+			counts := make([]int, 3)
+			var firstAssign []int
+			for _, st := range streams {
+				res, err := f.Run(st.Jobs)
+				if err != nil {
+					return nil, fmt.Errorf("fleet-placement: %s: %w", rc.name, err)
+				}
+				bsldSum += metrics.Value(metrics.BoundedSlowdown, res.Fleet)
+				utilSum += res.Fleet.Utilization
+				for i, c := range res.Clusters {
+					counts[i] += c.Placements
+				}
+				if firstAssign == nil {
+					firstAssign = res.Assignments
+				}
+			}
+			// Re-run the first stream with a freshly built router+fleet:
+			// assignments must reproduce exactly.
+			router2, err := rc.build()
+			if err != nil {
+				return nil, err
+			}
+			f2, err := fleet.New(fleetMembers(o, rlSched), router2)
+			if err != nil {
+				return nil, err
+			}
+			again := fleetStreams(o, cache.get("Lublin-1"), cache.get("Lublin-2"))[si][0]
+			res2, err := f2.Run(again.Jobs)
+			if err != nil {
+				return nil, err
+			}
+			for i := range firstAssign {
+				if firstAssign[i] != res2.Assignments[i] {
+					deterministic = false
+				}
+			}
+			n := float64(len(streams))
+			t.AddRow(rc.name,
+				fmt.Sprintf("%.2f", bsldSum/n),
+				fmt.Sprintf("%.3f", utilSum/n),
+				fmt.Sprintf("%d/%d/%d", counts[0], counts[1], counts[2]))
+		}
+		if si == 0 {
+			t.Notes = append(t.Notes,
+				"shape to check: load-aware routing (least-loaded / binpack / rl-scored) beats random on fleet-wide bsld")
+		}
+		arts = append(arts, t)
+	}
+	note := "placement determinism: assignments reproduced exactly across rebuilt routers"
+	if !deterministic {
+		note = "placement determinism: VIOLATED — assignments differed across rebuilt routers"
+	}
+	last := arts[len(arts)-1].(*Table)
+	last.Notes = append(last.Notes, note)
+	if !deterministic {
+		return arts, fmt.Errorf("fleet-placement: assignments were not deterministic")
+	}
+	return arts, nil
+}

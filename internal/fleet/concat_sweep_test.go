@@ -1,0 +1,29 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+
+	"rlsched/internal/trace"
+)
+
+// TestConcatStreamSweep runs workload-shift streams (the experiment's
+// construction) across many seeds through a fleet — the regression
+// surface for the job-ID collision panic.
+func TestConcatStreamSweep(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		tr1 := trace.Preset("Lublin-1", 400, seed)
+		tr2 := trace.Preset("Lublin-2", 400, seed)
+		rng := rand.New(rand.NewSource(seed))
+		st := trace.Concat("shift",
+			&trace.Trace{Name: "a", Processors: 256, Jobs: tr1.SampleWindow(rng, 64)},
+			&trace.Trace{Name: "b", Processors: 256, Jobs: tr2.SampleWindow(rng, 64)})
+		f, err := New(heteroMembers(), LeastLoadedPipeline())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Run(st.Jobs); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package fleet is the placement layer above the per-cluster schedulers:
+// it routes one global arrival stream across many simulated clusters, each
+// running its own scheduling policy (a trained kernel network or a
+// heuristic). The first decision for an arriving job is *which cluster
+// gets it* — made by a Router, typically a filter/score plugin Pipeline
+// mirroring the predicate/priority split of cluster placement schedulers —
+// and only then does the chosen cluster's own policy decide *when it
+// runs*. The fleet simulator time-synchronizes the member clusters against
+// the global clock: every member is advanced to an arrival's submit
+// instant before the placement decision reads its state, so routers see
+// the load each cluster genuinely has at that moment.
+package fleet
+
+import (
+	"fmt"
+
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+	"rlsched/internal/sim"
+)
+
+// Candidate is one member cluster's state at a placement instant — the
+// view Filter and Scorer plugins consume.
+type Candidate struct {
+	// Index is the member's position in the fleet.
+	Index int
+	// Name identifies the cluster in results and metrics.
+	Name string
+	// Now is the member's clock (the global placement instant).
+	Now float64
+	// View is the member's resource state.
+	View sim.ClusterView
+	// Visible is the member's scheduler-visible pending queue (FCFS
+	// order); Pending is the full backlog length.
+	Visible []*job.Job
+	Pending int
+	// PendingWork is Σ requested_time·procs over the backlog;
+	// RunningWork is the committed remaining work area of running jobs.
+	PendingWork float64
+	RunningWork float64
+}
+
+// Router picks the cluster an arriving job is routed to, returning an
+// index into cands or -1 when no cluster is feasible. Routers must be
+// deterministic given their own construction (seed) and the call sequence.
+type Router interface {
+	Name() string
+	Place(j *job.Job, cands []*Candidate) int
+}
+
+// MemberConfig declares one fleet member: a cluster configuration and the
+// scheduling policy that orders its local queue.
+type MemberConfig struct {
+	Name      string
+	Sim       sim.Config
+	Scheduler sim.Scheduler
+}
+
+// member wraps a simulator driven through the incremental stepping
+// surface. committed is the job the local policy has chosen and is
+// waiting to start — exactly the job sim.Schedule would be blocking on.
+type member struct {
+	name       string
+	cfg        sim.Config
+	sim        *sim.Simulator
+	sched      sim.Scheduler
+	committed  *job.Job
+	placements int
+}
+
+// pump applies local scheduling decisions at the current instant without
+// advancing time: pick (when uncommitted), start when possible, backfill
+// while the committed job waits. Together with the event loop in syncTo
+// this reproduces sim.Run's semantics exactly — the single-member parity
+// test pins that equivalence.
+func (m *member) pump() error {
+	for {
+		if m.committed == nil {
+			vis := m.sim.Visible()
+			if len(vis) == 0 {
+				return nil
+			}
+			idx := m.sched.Pick(vis, m.sim.Now(), m.sim.View())
+			if idx < 0 || idx >= len(vis) {
+				idx = 0
+			}
+			m.committed = vis[idx]
+		}
+		if m.sim.CanStartNow(m.committed) {
+			if err := m.sim.StartNow(m.committed); err != nil {
+				return fmt.Errorf("fleet: %s: %w", m.name, err)
+			}
+			m.committed = nil
+			continue
+		}
+		m.sim.BackfillNow(m.committed)
+		if !m.sim.CanStartNow(m.committed) {
+			return nil
+		}
+	}
+}
+
+// syncTo advances the member to global time t, applying scheduling
+// decisions at every internal event (completions) on the way.
+func (m *member) syncTo(t float64) error {
+	for {
+		if err := m.pump(); err != nil {
+			return err
+		}
+		et, ok := m.sim.NextEventTime()
+		if !ok || et > t {
+			break
+		}
+		m.sim.AdvanceClock(et)
+	}
+	m.sim.AdvanceClock(t)
+	return m.pump()
+}
+
+// drain runs the member to completion after the last global arrival.
+func (m *member) drain() error {
+	for {
+		if err := m.pump(); err != nil {
+			return err
+		}
+		et, ok := m.sim.NextEventTime()
+		if !ok {
+			if m.committed != nil {
+				return fmt.Errorf("fleet: %s: job %d (%d procs) can never start",
+					m.name, m.committed.ID, m.committed.RequestedProcs)
+			}
+			return nil
+		}
+		m.sim.AdvanceClock(et)
+	}
+}
+
+// Fleet routes a job stream across member clusters.
+type Fleet struct {
+	members []*member
+	router  Router
+	cands   []*Candidate
+}
+
+// New assembles a fleet. Members must have distinct names.
+func New(members []MemberConfig, router Router) (*Fleet, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fleet: need at least one member")
+	}
+	if router == nil {
+		return nil, fmt.Errorf("fleet: need a router")
+	}
+	f := &Fleet{router: router}
+	seen := map[string]bool{}
+	for i, mc := range members {
+		if mc.Name == "" {
+			mc.Name = fmt.Sprintf("cluster-%d", i)
+		}
+		if seen[mc.Name] {
+			return nil, fmt.Errorf("fleet: duplicate member name %q", mc.Name)
+		}
+		seen[mc.Name] = true
+		if mc.Scheduler == nil {
+			return nil, fmt.Errorf("fleet: member %q needs a scheduler", mc.Name)
+		}
+		f.members = append(f.members, &member{
+			name:  mc.Name,
+			cfg:   mc.Sim,
+			sim:   sim.New(mc.Sim),
+			sched: mc.Scheduler,
+		})
+		f.cands = append(f.cands, &Candidate{Index: i, Name: mc.Name})
+	}
+	return f, nil
+}
+
+// reset returns every member to an idle cluster at t=0.
+func (f *Fleet) reset() error {
+	for _, m := range f.members {
+		if err := m.sim.Load(nil); err != nil {
+			return err
+		}
+		m.committed = nil
+		m.placements = 0
+	}
+	return nil
+}
+
+// candidates refreshes the plugin-visible state of every member.
+func (f *Fleet) candidates() []*Candidate {
+	for i, m := range f.members {
+		c := f.cands[i]
+		c.Now = m.sim.Now()
+		c.View = m.sim.View()
+		c.Visible = m.sim.Visible()
+		c.Pending = m.sim.PendingCount()
+		c.PendingWork = m.sim.PendingWork()
+		c.RunningWork = m.sim.RunningWork()
+	}
+	return f.cands
+}
+
+// ClusterResult is one member's share of a fleet run.
+type ClusterResult struct {
+	Name       string
+	Processors int
+	Placements int
+	Result     metrics.Result
+}
+
+// Result is a finished fleet run: per-cluster results plus the fleet-wide
+// merge and the per-job routing decisions.
+type Result struct {
+	Clusters []ClusterResult
+	// Fleet merges the member results (metrics.Merge): job-averaged
+	// metrics span every job; utilization is processor-weighted.
+	Fleet metrics.Result
+	// Assignments[i] is the member index stream job i was routed to.
+	Assignments []int
+}
+
+// Run routes the submit-ordered stream across the fleet and schedules
+// every member to completion. The stream's jobs are owned by the run
+// (pass freshly cloned windows, e.g. trace.Window). Placement is strictly
+// serial in arrival order, so results are deterministic for deterministic
+// routers and member policies regardless of how the surrounding code is
+// parallelized.
+func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
+	if len(stream) == 0 {
+		return nil, fmt.Errorf("fleet: empty stream")
+	}
+	if err := f.reset(); err != nil {
+		return nil, err
+	}
+	assignments := make([]int, len(stream))
+	prev := stream[0].SubmitTime
+	for i, j := range stream {
+		if j.SubmitTime < prev {
+			return nil, fmt.Errorf("fleet: stream job %d out of submit order", i)
+		}
+		prev = j.SubmitTime
+		for _, m := range f.members {
+			if err := m.syncTo(j.SubmitTime); err != nil {
+				return nil, err
+			}
+		}
+		k := f.router.Place(j, f.candidates())
+		if k < 0 || k >= len(f.members) {
+			// Run has no fleet-level holding queue: a router that
+			// declines a job (capacity, or a transient condition like a
+			// BacklogFilter with every queue full) aborts the run.
+			// Admission control belongs to the caller — the serving
+			// /place endpoint answers 422 and keeps going.
+			return nil, fmt.Errorf("fleet: router %s declined job %d (%d procs): no feasible cluster at placement time",
+				f.router.Name(), j.ID, j.RequestedProcs)
+		}
+		m := f.members[k]
+		if err := m.sim.Submit(j); err != nil {
+			return nil, fmt.Errorf("fleet: route to %s: %w", m.name, err)
+		}
+		m.placements++
+		assignments[i] = k
+		if err := m.pump(); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Assignments: assignments}
+	for _, m := range f.members {
+		if err := m.drain(); err != nil {
+			return nil, err
+		}
+	}
+	// Utilization must be measured over one shared fleet horizon: a
+	// member whose first routed job arrives late (or that runs dry
+	// early) would otherwise report its busy fraction over a shorter
+	// private window and bias the processor-weighted merge.
+	start := stream[0].SubmitTime
+	end := start
+	for _, m := range f.members {
+		if t := m.sim.Now(); t > end {
+			end = t
+		}
+	}
+	results := make([]metrics.Result, len(f.members))
+	procs := make([]int, len(f.members))
+	for i, m := range f.members {
+		m.sim.AdvanceClock(end)
+		results[i] = m.sim.Result()
+		results[i].Utilization = m.sim.UtilizationOver(start, end)
+		procs[i] = m.cfg.Processors
+		res.Clusters = append(res.Clusters, ClusterResult{
+			Name:       m.name,
+			Processors: m.cfg.Processors,
+			Placements: m.placements,
+			Result:     results[i],
+		})
+	}
+	res.Fleet = metrics.Merge(results, procs)
+	return res, nil
+}

@@ -1,0 +1,362 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"rlsched/internal/job"
+	"rlsched/internal/nn"
+	"rlsched/internal/sim"
+)
+
+// The placement pipeline mirrors the two-phase predicate/priority split of
+// cluster placement schedulers: Filter plugins knock out clusters that
+// cannot take the job at all, then weighted Score plugins rank the
+// survivors. Scores are min-max normalized to [0,1] per plugin across the
+// feasible candidates before weighting, so a plugin's raw scale never
+// drowns out the others; ties break toward the lowest candidate index, so
+// a placement is deterministic for deterministic plugins.
+
+// Filter is a predicate plugin: it reports whether the candidate cluster
+// could feasibly run the job at all.
+type Filter interface {
+	Name() string
+	Feasible(j *job.Job, c *Candidate) bool
+}
+
+// Scorer is a priority plugin: it scores the job against every candidate
+// at once (higher is better, any scale — the pipeline normalizes).
+// Batch-style scoring lets plugins that run a policy network score all
+// clusters in one forward pass.
+type Scorer interface {
+	Name() string
+	Score(j *job.Job, cands []*Candidate, out []float64)
+}
+
+// WeightedScorer attaches a pipeline weight to a Scorer.
+type WeightedScorer struct {
+	Scorer Scorer
+	Weight float64
+}
+
+// Pipeline is a Router built from Filter and Score plugins. Placements
+// are safe to run concurrently as long as every plugin is (all built-ins
+// are): scratch buffers are pooled per call, never shared.
+type Pipeline struct {
+	name    string
+	Filters []Filter
+	Scorers []WeightedScorer
+
+	pool sync.Pool // *pipelineScratch
+}
+
+type pipelineScratch struct {
+	feasible []int
+	cands    []*Candidate
+	raw      []float64
+	total    []float64
+}
+
+// NewPipeline assembles a placement pipeline.
+func NewPipeline(name string, filters []Filter, scorers []WeightedScorer) *Pipeline {
+	return &Pipeline{name: name, Filters: filters, Scorers: scorers}
+}
+
+// Name implements Router.
+func (p *Pipeline) Name() string { return p.name }
+
+// Place implements Router: filter, score, argmax.
+func (p *Pipeline) Place(j *job.Job, cands []*Candidate) int {
+	return p.PlaceScored(j, cands, nil)
+}
+
+// PlaceScored is Place that additionally reports the total weighted score
+// per candidate into scores (len(cands); NaN marks filtered-out clusters).
+// It returns -1 when no cluster is feasible.
+func (p *Pipeline) PlaceScored(j *job.Job, cands []*Candidate, scores []float64) int {
+	sc, _ := p.pool.Get().(*pipelineScratch)
+	if sc == nil {
+		sc = &pipelineScratch{}
+	}
+	defer p.pool.Put(sc)
+
+	feasible := sc.feasible[:0]
+next:
+	for i, c := range cands {
+		for _, f := range p.Filters {
+			if !f.Feasible(j, c) {
+				continue next
+			}
+		}
+		feasible = append(feasible, i)
+	}
+	sc.feasible = feasible
+
+	for i := range scores {
+		scores[i] = math.NaN()
+	}
+	if len(feasible) == 0 {
+		return -1
+	}
+	if len(feasible) == 1 {
+		if scores != nil {
+			scores[feasible[0]] = 1
+		}
+		return feasible[0]
+	}
+
+	if cap(sc.raw) < len(cands) {
+		sc.raw = make([]float64, len(cands))
+		sc.total = make([]float64, len(cands))
+	}
+	raw := sc.raw[:len(cands)]
+	total := sc.total[:len(cands)]
+	for i := range total {
+		total[i] = 0
+	}
+
+	// Score plugins see only the feasible candidates, in candidate order.
+	feasCands := sc.cands[:0]
+	for _, i := range feasible {
+		feasCands = append(feasCands, cands[i])
+	}
+	sc.cands = feasCands
+	sub := raw[:len(feasible)]
+	for _, ws := range p.Scorers {
+		ws.Scorer.Score(j, feasCands, sub)
+		lo, hi := sub[0], sub[0]
+		for _, v := range sub[1:] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if span := hi - lo; span > 0 {
+			for k, i := range feasible {
+				total[i] += ws.Weight * (sub[k] - lo) / span
+			}
+		}
+		// A constant plugin expresses no preference and contributes 0.
+	}
+
+	best := feasible[0]
+	for _, i := range feasible[1:] {
+		if total[i] > total[best] {
+			best = i
+		}
+	}
+	if scores != nil {
+		for _, i := range feasible {
+			scores[i] = total[i]
+		}
+	}
+	return best
+}
+
+// CapacityFilter keeps only clusters physically large enough for the job.
+type CapacityFilter struct{}
+
+// Name implements Filter.
+func (CapacityFilter) Name() string { return "capacity" }
+
+// Feasible implements Filter.
+func (CapacityFilter) Feasible(j *job.Job, c *Candidate) bool {
+	return j.RequestedProcs <= c.View.TotalProcs
+}
+
+// BacklogFilter enforces a per-cluster admission quota: clusters whose
+// pending backlog has reached Max are infeasible (their queue is full).
+// Note that a Fleet.Run has no holding queue — if every cluster's
+// backlog is momentarily full the run errors out — so this filter suits
+// admission-control callers (the serving /place endpoint) rather than
+// closed-loop simulations.
+type BacklogFilter struct{ Max int }
+
+// Name implements Filter.
+func (f BacklogFilter) Name() string { return fmt.Sprintf("backlog<%d", f.Max) }
+
+// Feasible implements Filter.
+func (f BacklogFilter) Feasible(_ *job.Job, c *Candidate) bool {
+	return f.Max <= 0 || c.Pending < f.Max
+}
+
+// load is the committed seconds of work per processor — the shared signal
+// of the load-based scorers.
+func load(c *Candidate) float64 {
+	return (c.RunningWork + c.PendingWork) / float64(c.View.TotalProcs)
+}
+
+// LeastLoaded spreads: it prefers the cluster with the least committed
+// work (running + queued) per processor.
+type LeastLoaded struct{}
+
+// Name implements Scorer.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Score implements Scorer.
+func (LeastLoaded) Score(_ *job.Job, cands []*Candidate, out []float64) {
+	for i, c := range cands {
+		out[i] = -load(c)
+	}
+}
+
+// Binpack packs: among clusters with enough free processors right now it
+// prefers the tightest fit (preserving big free blocks for wide jobs);
+// when nowhere fits immediately it falls back to the least-loaded queue.
+type Binpack struct{}
+
+// Name implements Scorer.
+func (Binpack) Name() string { return "binpack" }
+
+// Score implements Scorer.
+func (Binpack) Score(j *job.Job, cands []*Candidate, out []float64) {
+	for i, c := range cands {
+		if c.View.FreeProcs >= j.RequestedProcs && c.Pending == 0 {
+			// Fits now: tighter leftover → higher score, always above
+			// any queued cluster.
+			out[i] = 1 + 1/float64(1+c.View.FreeProcs-j.RequestedProcs)
+		} else {
+			// Must queue: less committed work → closer to 0.
+			out[i] = -load(c)
+		}
+	}
+}
+
+// QueueWait estimates the queuing delay the job would suffer: zero when
+// the cluster can start it immediately with an empty queue, otherwise the
+// committed work per processor (an optimistic drain-time bound).
+type QueueWait struct{}
+
+// Name implements Scorer.
+func (QueueWait) Name() string { return "queue-wait" }
+
+// Score implements Scorer.
+func (QueueWait) Score(j *job.Job, cands []*Candidate, out []float64) {
+	for i, c := range cands {
+		if c.View.FreeProcs >= j.RequestedProcs && c.Pending == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = -load(c)
+	}
+}
+
+// RLScorer scores the job's marginal impact per cluster with a trained
+// policy network through the graph-free nn.Inferer fast path (the same
+// path training rollouts and the serving daemon use): for each candidate
+// the job is appended to the cluster's visible queue, one batched forward
+// pass scores all clusters, and the job's log-probability under the
+// policy's softmax is the score — the policy's judgement of how soon it
+// would run the job there, relative to the backlog it must beat.
+type RLScorer struct {
+	inf    nn.Inferer
+	maxObs int
+	feat   int
+	pool   sync.Pool // *rlScratch
+}
+
+type rlScratch struct {
+	obs    []float64
+	logits []float64
+	queue  []*job.Job
+	limits []int
+}
+
+// NewRLScorer wraps a policy network built for sim.JobFeatures features
+// per job.
+func NewRLScorer(net nn.PolicyNet) (*RLScorer, error) {
+	maxObs, feat := net.Dims()
+	if feat != sim.JobFeatures {
+		return nil, fmt.Errorf("fleet: policy expects %d features per job, encoder produces %d",
+			feat, sim.JobFeatures)
+	}
+	return &RLScorer{inf: nn.AsInferer(net), maxObs: maxObs, feat: feat}, nil
+}
+
+// Name implements Scorer.
+func (r *RLScorer) Name() string { return "rl" }
+
+// Score implements Scorer. Safe for concurrent use (scratch is pooled,
+// weights are only read).
+func (r *RLScorer) Score(j *job.Job, cands []*Candidate, out []float64) {
+	b := len(cands)
+	rowLen := r.maxObs * r.feat
+	sc, _ := r.pool.Get().(*rlScratch)
+	if sc == nil {
+		sc = &rlScratch{}
+	}
+	if cap(sc.obs) < b*rowLen {
+		sc.obs = make([]float64, b*rowLen)
+		sc.logits = make([]float64, b*r.maxObs)
+	}
+	if cap(sc.limits) < b {
+		sc.limits = make([]int, b)
+	}
+	obs := sc.obs[:b*rowLen]
+	logits := sc.logits[:b*r.maxObs]
+	limits := sc.limits[:b]
+	for i, c := range cands {
+		vis := c.Visible
+		if len(vis) > r.maxObs-1 {
+			vis = vis[:r.maxObs-1] // keep a slot for the candidate job
+		}
+		sc.queue = append(sc.queue[:0], vis...)
+		sc.queue = append(sc.queue, j)
+		limits[i] = len(sc.queue)
+		sim.BuildObsInto(obs[i*rowLen:(i+1)*rowLen], sc.queue, c.Now, c.View, c.Pending+1, r.maxObs)
+	}
+	r.inf.InferLogits(obs, b, logits)
+	for i := range cands {
+		// log-softmax of the appended job's slot (the last real row).
+		out[i] = LastLogSoftmax(logits[i*r.maxObs : i*r.maxObs+limits[i]])
+	}
+	r.pool.Put(sc)
+}
+
+// LastLogSoftmax returns the log-softmax of row's last element — the
+// shared "how strongly would this policy pick the appended job"
+// reduction used by RLScorer and the serving daemon's per-shard engine
+// scorer. 0 means certainty (the job is alone, or dominates the queue);
+// deeply negative means the backlog buries it.
+func LastLogSoftmax(row []float64) float64 {
+	max := row[0]
+	for _, v := range row[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for _, v := range row {
+		sum += math.Exp(v - max)
+	}
+	return row[len(row)-1] - max - math.Log(sum)
+}
+
+// Standard pipelines: the routers the fleet experiment and the serving
+// daemon expose by name.
+
+// LeastLoadedPipeline spreads jobs by committed work.
+func LeastLoadedPipeline() *Pipeline {
+	return NewPipeline("least-loaded",
+		[]Filter{CapacityFilter{}},
+		[]WeightedScorer{{LeastLoaded{}, 1}})
+}
+
+// BinpackPipeline packs tight fits, preserving wide free blocks.
+func BinpackPipeline() *Pipeline {
+	return NewPipeline("binpack",
+		[]Filter{CapacityFilter{}},
+		[]WeightedScorer{{Binpack{}, 1}})
+}
+
+// RLPipeline routes with the policy network's marginal-impact score,
+// stabilized by a queue-wait prior (the net knows the queue it would join;
+// the prior breaks near-ties toward emptier clusters).
+func RLPipeline(net nn.PolicyNet) (*Pipeline, error) {
+	rl, err := NewRLScorer(net)
+	if err != nil {
+		return nil, err
+	}
+	return NewPipeline("rl-scored",
+		[]Filter{CapacityFilter{}},
+		[]WeightedScorer{{rl, 2}, {QueueWait{}, 1}}), nil
+}

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"math/rand"
+
+	"rlsched/internal/job"
+)
+
+// Baseline routers: the null hypotheses the plugin pipelines are measured
+// against. Both honour the capacity predicate (routing a job somewhere it
+// can never run is not a baseline, it is a bug) but express no load
+// preference.
+
+// feasibleInto collects the candidate indexes that pass every filter.
+func feasibleInto(dst []int, j *job.Job, cands []*Candidate, filters []Filter) []int {
+	dst = dst[:0]
+next:
+	for i, c := range cands {
+		for _, f := range filters {
+			if !f.Feasible(j, c) {
+				continue next
+			}
+		}
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// RandomRouter places each job on a uniformly random feasible cluster.
+// Deterministic for a fixed seed (placement is serial in arrival order).
+type RandomRouter struct {
+	rng     *rand.Rand
+	filters []Filter
+	buf     []int
+}
+
+// NewRandom returns a seeded random router with the capacity predicate.
+func NewRandom(seed int64) *RandomRouter {
+	return &RandomRouter{rng: rand.New(rand.NewSource(seed)), filters: []Filter{CapacityFilter{}}}
+}
+
+// Name implements Router.
+func (r *RandomRouter) Name() string { return "random" }
+
+// Place implements Router.
+func (r *RandomRouter) Place(j *job.Job, cands []*Candidate) int {
+	r.buf = feasibleInto(r.buf, j, cands, r.filters)
+	if len(r.buf) == 0 {
+		return -1
+	}
+	return r.buf[r.rng.Intn(len(r.buf))]
+}
+
+// RoundRobin rotates placements across the fleet, skipping infeasible
+// clusters.
+type RoundRobin struct {
+	next    int
+	filters []Filter
+}
+
+// NewRoundRobin returns a round-robin router with the capacity predicate.
+func NewRoundRobin() *RoundRobin {
+	return &RoundRobin{filters: []Filter{CapacityFilter{}}}
+}
+
+// Name implements Router.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Router.
+func (r *RoundRobin) Place(j *job.Job, cands []*Candidate) int {
+next:
+	for off := 0; off < len(cands); off++ {
+		i := (r.next + off) % len(cands)
+		for _, f := range r.filters {
+			if !f.Feasible(j, cands[i]) {
+				continue next
+			}
+		}
+		r.next = (i + 1) % len(cands)
+		return i
+	}
+	return -1
+}

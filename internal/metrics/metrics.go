@@ -134,6 +134,30 @@ func FairMax(jobs []*job.Job, base Kind) float64 {
 	return max
 }
 
+// Merge combines per-cluster scheduling results into one fleet-wide
+// result: the job sets concatenate (so job-averaged metrics weight every
+// job equally, wherever it ran) and utilization is the processor-weighted
+// mean of the member utilizations — the busy fraction of the whole fleet
+// when members share one arrival horizon, as they do under the fleet
+// simulator's global clock. procs[i] is member i's cluster size.
+func Merge(rs []Result, procs []int) Result {
+	if len(rs) != len(procs) {
+		panic("metrics: Merge needs one processor count per result")
+	}
+	var merged Result
+	totalProcs := 0
+	weighted := 0.0
+	for i, r := range rs {
+		merged.Jobs = append(merged.Jobs, r.Jobs...)
+		weighted += r.Utilization * float64(procs[i])
+		totalProcs += procs[i]
+	}
+	if totalProcs > 0 {
+		merged.Utilization = weighted / float64(totalProcs)
+	}
+	return merged
+}
+
 // Reward converts the metric of a finished sequence into the scalar reward
 // the agent maximizes: the metric itself for maximization goals, its
 // negation for minimization goals (§IV-A: reward = −bsld, reward = util).

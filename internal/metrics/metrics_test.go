@@ -97,3 +97,36 @@ func TestRewardSign(t *testing.T) {
 		t.Errorf("util reward = %g, want +0.8", got)
 	}
 }
+
+func TestMergeResults(t *testing.T) {
+	a := Result{
+		Jobs:        []*job.Job{startedJob(1, 0, 0, 10, 0), startedJob(2, 0, 90, 10, 0)},
+		Utilization: 0.8,
+	}
+	b := Result{
+		Jobs:        []*job.Job{startedJob(3, 0, 0, 10, 1)},
+		Utilization: 0.2,
+	}
+	m := Merge([]Result{a, b}, []int{300, 100})
+	if len(m.Jobs) != 3 {
+		t.Fatalf("merged jobs = %d, want 3", len(m.Jobs))
+	}
+	// (0.8*300 + 0.2*100) / 400 = 0.65
+	if got := m.Utilization; got != 0.65 {
+		t.Fatalf("merged utilization = %g, want 0.65", got)
+	}
+	// Job-averaged metrics must weight every job equally across clusters:
+	// waits are 0, 90, 0 → mean 30.
+	if got := Value(WaitTime, m); got != 30 {
+		t.Fatalf("merged mean wait = %g, want 30", got)
+	}
+	if got := Merge(nil, nil); got.Utilization != 0 || got.Jobs != nil {
+		t.Fatalf("empty merge = %+v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths must panic")
+		}
+	}()
+	Merge([]Result{a}, []int{1, 2})
+}

@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rlsched/internal/fleet"
+	"rlsched/internal/job"
+	"rlsched/internal/sim"
+)
+
+// Fleet mode: the daemon shards one Engine per cluster and answers two
+// extra questions. "/v1/decide?cluster=NAME" asks a specific shard's
+// policy which queued job runs next — serving sharded by cluster.
+// "POST /place" asks the placement layer which cluster an arriving job
+// should be routed to: the request carries the job plus each cluster's
+// current queue state (the daemon is stateless, like the decision
+// endpoint), and the answer comes from a fleet filter/score pipeline whose
+// RL-informed plugin scores the job's marginal impact with each shard's
+// own serving engine.
+
+// ShardConfig declares one fleet member the daemon serves.
+type ShardConfig struct {
+	// Name identifies the cluster in /place, /decide?cluster= and
+	// /metrics labels.
+	Name string
+	// Procs is the cluster size (placement rejects cluster states that
+	// disagree, catching misrouted reports).
+	Procs int
+	// Engine overrides ModelPath/PolicyName (test hook), which otherwise
+	// load exactly like the daemon's base engine.
+	Engine     Engine
+	ModelPath  string
+	PolicyName string
+}
+
+// shard is one served cluster: its own batcher (so /decide load on one
+// cluster never queues behind another) behind its own hot-swappable
+// engine.
+type shard struct {
+	name    string
+	procs   int
+	batcher *Batcher
+}
+
+// newShards builds the shard set and the placement router.
+func (s *Server) initFleet(cfg Config) error {
+	if len(cfg.Shards) == 0 {
+		if cfg.PlaceRouter != "" {
+			return fmt.Errorf("serve: place router %q needs fleet shards", cfg.PlaceRouter)
+		}
+		return nil
+	}
+	names := make([]string, 0, len(cfg.Shards))
+	for i, sc := range cfg.Shards {
+		if sc.Name == "" {
+			return fmt.Errorf("serve: shard %d needs a name", i)
+		}
+		if sc.Procs <= 0 {
+			return fmt.Errorf("serve: shard %q needs a positive processor count", sc.Name)
+		}
+		if _, dup := s.shardByName(sc.Name); dup != nil {
+			return fmt.Errorf("serve: duplicate shard name %q", sc.Name)
+		}
+		eng := sc.Engine
+		if eng == nil {
+			var err error
+			eng, err = LoadEngine(sc.ModelPath, sc.PolicyName)
+			if err != nil {
+				return fmt.Errorf("serve: shard %q: %w", sc.Name, err)
+			}
+		}
+		s.shards = append(s.shards, &shard{
+			name:  sc.Name,
+			procs: sc.Procs,
+			batcher: NewBatcher(eng, BatcherConfig{
+				Workers:  cfg.Workers,
+				Window:   cfg.BatchWindow,
+				MaxBatch: cfg.MaxBatch,
+				OnBatch:  func(states int) { s.metrics.BatchSize.Observe(float64(states)) },
+			}),
+		})
+		names = append(names, sc.Name)
+	}
+	s.metrics.RegisterPlaceClusters(names)
+
+	router := cfg.PlaceRouter
+	if router == "" {
+		router = "engine"
+	}
+	switch router {
+	case "engine":
+		// The RL-informed default: each shard's own policy scores the
+		// job against the backlog it would join, with a queue-wait
+		// prior as tie-breaker.
+		s.placer = fleet.NewPipeline("engine-scored",
+			[]fleet.Filter{fleet.CapacityFilter{}},
+			[]fleet.WeightedScorer{
+				{Scorer: &shardEngineScorer{s: s}, Weight: 2},
+				{Scorer: fleet.QueueWait{}, Weight: 1},
+			})
+	case "least-loaded":
+		s.placer = fleet.LeastLoadedPipeline()
+	case "binpack":
+		s.placer = fleet.BinpackPipeline()
+	default:
+		return fmt.Errorf("serve: unknown place router %q (engine|least-loaded|binpack)", router)
+	}
+	return nil
+}
+
+func (s *Server) shardByName(name string) (int, *shard) {
+	for i, sh := range s.shards {
+		if sh.name == name {
+			return i, sh
+		}
+	}
+	return -1, nil
+}
+
+// shardEngineScorer adapts the fleet Scorer interface onto the daemon's
+// per-cluster engines: candidate i is scored by shard i's currently
+// served engine. The score is the log-softmax of the new job's engine
+// score within the queue it would join — the engine's (log) probability
+// of running the job *next* on that cluster. An idle cluster scores 0
+// (certainty, the best possible placement); a cluster whose backlog would
+// bury the job scores deeply negative. The softmax makes heterogeneous
+// engines (logits vs negated heuristic priorities) comparable after the
+// pipeline's per-plugin normalization, mirroring fleet.RLScorer.
+type shardEngineScorer struct{ s *Server }
+
+// Name implements fleet.Scorer.
+func (*shardEngineScorer) Name() string { return "shard-engine" }
+
+// Score implements fleet.Scorer.
+func (sc *shardEngineScorer) Score(j *job.Job, cands []*fleet.Candidate, out []float64) {
+	var one [1]Decision
+	for i, c := range cands {
+		eng := sc.s.shards[c.Index].batcher.Engine()
+		vis := c.Visible
+		if max := eng.MaxJobs(); max > 0 && len(vis) > max-1 {
+			vis = vis[:max-1] // keep a slot for the candidate job
+		}
+		jobs := make([]*job.Job, 0, len(vis)+1)
+		jobs = append(jobs, vis...)
+		jobs = append(jobs, j)
+		st := &QueueState{
+			Jobs:       jobs,
+			Now:        c.Now,
+			View:       c.View,
+			QueueLen:   c.Pending + 1,
+			WantScores: true,
+		}
+		eng.DecideBatch([]*QueueState{st}, one[:])
+		out[i] = fleet.LastLogSoftmax(one[0].Scores)
+	}
+}
+
+// placeCluster is one cluster's state in a /place request: a named queue
+// state. Unlike /v1/decide states, an empty jobs list is legal (an idle
+// cluster is the best possible placement).
+type placeCluster struct {
+	Name string `json:"name"`
+	wireState
+}
+
+// placeRequest is the /place body.
+type placeRequest struct {
+	Job      wireJob        `json:"job"`
+	Clusters []placeCluster `json:"clusters"`
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST only"))
+		return
+	}
+	if len(s.shards) == 0 {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: not running in fleet mode"))
+		return
+	}
+	start := time.Now()
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if int64(len(body)) > s.maxBody {
+		s.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: body over %d bytes", s.maxBody))
+		return
+	}
+	var req placeRequest
+	req.Job.UserID = -1
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: bad place request: %w", err))
+		return
+	}
+	if req.Job.ReqProcs <= 0 || req.Job.ReqTime <= 0 {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("serve: job needs positive requested_time and requested_procs"))
+		return
+	}
+	if len(req.Clusters) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: place request carries no clusters"))
+		return
+	}
+
+	cands, err := s.placeCandidates(req.Clusters)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	jv := req.Job.toJob()
+	j := &jv
+	scores := make([]float64, len(cands))
+	pick := s.placer.PlaceScored(j, cands, scores)
+	if pick < 0 {
+		s.fail(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("serve: job (%d procs) fits no cluster", j.RequestedProcs))
+		return
+	}
+
+	resp := make([]byte, 0, 256)
+	resp = append(resp, `{"cluster":`...)
+	resp = strconv.AppendQuote(resp, cands[pick].Name)
+	resp = append(resp, `,"shard":`...)
+	resp = strconv.AppendInt(resp, int64(cands[pick].Index), 10)
+	resp = append(resp, `,"router":`...)
+	resp = strconv.AppendQuote(resp, s.placer.Name())
+	resp = append(resp, `,"scores":{`...)
+	first := true
+	for i, c := range cands {
+		if scores[i] != scores[i] { // NaN: filtered out
+			continue
+		}
+		if !first {
+			resp = append(resp, ',')
+		}
+		first = false
+		resp = strconv.AppendQuote(resp, c.Name)
+		resp = append(resp, ':')
+		resp = strconv.AppendFloat(resp, scores[i], 'g', 6, 64)
+	}
+	resp = append(resp, '}', '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp)
+
+	s.metrics.CountPlacement(cands[pick].Index)
+	s.metrics.PlaceLatency.ObserveDuration(time.Since(start))
+}
+
+// placeCandidates turns the posted cluster states into fleet candidates,
+// validating each against the registered shards.
+func (s *Server) placeCandidates(clusters []placeCluster) ([]*fleet.Candidate, error) {
+	cands := make([]*fleet.Candidate, 0, len(clusters))
+	seen := map[string]bool{}
+	for i := range clusters {
+		pc := &clusters[i]
+		idx, sh := s.shardByName(pc.Name)
+		if sh == nil {
+			return nil, fmt.Errorf("serve: unknown cluster %q", pc.Name)
+		}
+		if seen[pc.Name] {
+			return nil, fmt.Errorf("serve: cluster %q listed twice", pc.Name)
+		}
+		seen[pc.Name] = true
+		if pc.TotalProcs != sh.procs {
+			return nil, fmt.Errorf("serve: cluster %q reports %d procs, shard has %d",
+				pc.Name, pc.TotalProcs, sh.procs)
+		}
+		if pc.FreeProcs < 0 || pc.FreeProcs > pc.TotalProcs {
+			return nil, fmt.Errorf("serve: cluster %q free_procs out of range", pc.Name)
+		}
+		visible := make([]*job.Job, 0, len(pc.Jobs))
+		pendingWork := 0.0
+		for k := range pc.Jobs {
+			wj := &pc.Jobs[k]
+			if wj.ReqProcs <= 0 || wj.ReqTime <= 0 {
+				return nil, fmt.Errorf("serve: cluster %q job %d needs positive requested_time and requested_procs",
+					pc.Name, k)
+			}
+			jb := wj.toJob()
+			visible = append(visible, &jb)
+			pendingWork += wj.ReqTime * float64(wj.ReqProcs)
+		}
+		pending := pc.QueueLen
+		if pending < len(pc.Jobs) {
+			pending = len(pc.Jobs)
+		}
+		cands = append(cands, &fleet.Candidate{
+			Index:       idx,
+			Name:        pc.Name,
+			Now:         pc.Now,
+			View:        sim.ClusterView{FreeProcs: pc.FreeProcs, TotalProcs: pc.TotalProcs},
+			Visible:     visible,
+			Pending:     pending,
+			PendingWork: pendingWork,
+			// RunningWork is unknowable from a posted snapshot; the
+			// queue signals above carry the load information.
+		})
+	}
+	return cands, nil
+}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newFleetServer builds a three-shard heterogeneous fleet daemon: a big
+// cluster served by a kernel model, two smaller ones by heuristics.
+func newFleetServer(t *testing.T, router string) (*Server, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, "kernel", 32)
+	return newTestServer(t, Config{
+		BatchWindow: time.Microsecond,
+		PlaceRouter: router,
+		Shards: []ShardConfig{
+			{Name: "large", Procs: 256, ModelPath: path},
+			{Name: "mid", Procs: 128, PolicyName: "SJF"},
+			{Name: "small", Procs: 64, PolicyName: "F1"},
+		},
+	})
+}
+
+// placeBody builds a /place request: one job and a state per cluster.
+func placeBody(t *testing.T, jobRow string, clusters ...string) []byte {
+	t.Helper()
+	return []byte(fmt.Sprintf(`{"job":%s,"clusters":[%s]}`, jobRow, strings.Join(clusters, ",")))
+}
+
+func clusterState(name string, free, total int, jobs string) string {
+	return fmt.Sprintf(`{"name":%q,"now":0,"free_procs":%d,"total_procs":%d,"jobs":[%s]}`,
+		name, free, total, jobs)
+}
+
+type placeResp struct {
+	Cluster string             `json:"cluster"`
+	Shard   int                `json:"shard"`
+	Router  string             `json:"router"`
+	Scores  map[string]float64 `json:"scores"`
+}
+
+// TestPlaceEndpoint: capacity filtering, routing, determinism and the
+// response shape of the placement endpoint.
+func TestPlaceEndpoint(t *testing.T) {
+	srv, ts := newFleetServer(t, "")
+
+	// A 200-proc job fits only the large cluster, whatever the scores.
+	body := placeBody(t, `[0,3600,200]`,
+		clusterState("large", 256, 256, ""),
+		clusterState("mid", 128, 128, ""),
+		clusterState("small", 64, 64, ""))
+	code, out := postJSON(t, ts.URL+"/place", body)
+	if code != http.StatusOK {
+		t.Fatalf("place: %d %s", code, out)
+	}
+	var resp placeResp
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatalf("%v in %s", err, out)
+	}
+	if resp.Cluster != "large" || resp.Shard != 0 {
+		t.Fatalf("wide job placed on %q (shard %d), want large/0", resp.Cluster, resp.Shard)
+	}
+	if resp.Router != "engine-scored" {
+		t.Fatalf("router = %q, want engine-scored", resp.Router)
+	}
+	if _, ok := resp.Scores["mid"]; ok {
+		t.Fatal("infeasible clusters must not carry scores")
+	}
+	if _, ok := resp.Scores["large"]; !ok {
+		t.Fatal("the feasible cluster must carry a score")
+	}
+
+	// A small job with a busy large cluster and an idle small one: every
+	// cluster is feasible, all three scored, and the answer is stable.
+	body = placeBody(t, `[0,60,4]`,
+		clusterState("large", 0, 256, `[0,30000,128],[0,30000,128]`),
+		clusterState("mid", 16, 128, `[0,7200,64]`),
+		clusterState("small", 64, 64, ""))
+	code, out = postJSON(t, ts.URL+"/place", body)
+	if code != http.StatusOK {
+		t.Fatalf("place: %d %s", code, out)
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Scores) != 3 {
+		t.Fatalf("scores = %v, want all three clusters", resp.Scores)
+	}
+	for i := 0; i < 3; i++ {
+		_, again := postJSON(t, ts.URL+"/place", body)
+		if !bytes.Equal(out, again) {
+			t.Fatalf("placement not deterministic:\n%s\n%s", out, again)
+		}
+	}
+
+	if got := srv.Metrics().PlaceTotal.Load(); got != 5 {
+		t.Fatalf("place_total = %d, want 5", got)
+	}
+}
+
+// TestPlaceRouterVariants: the load-based pipelines must be selectable
+// and route a small job to the idle cluster (least-loaded) vs the tight
+// fit (binpack).
+func TestPlaceRouterVariants(t *testing.T) {
+	clusters := []string{
+		clusterState("large", 200, 256, ""),
+		clusterState("mid", 8, 128, ""),
+		clusterState("small", 64, 64, `[0,3600,32]`),
+	}
+	body := placeBody(t, `[0,60,8]`, clusters...)
+
+	_, tsSpread := newFleetServer(t, "least-loaded")
+	code, out := postJSON(t, tsSpread.URL+"/place", body)
+	if code != 200 {
+		t.Fatalf("least-loaded: %d %s", code, out)
+	}
+	var resp placeResp
+	json.Unmarshal(out, &resp)
+	if resp.Cluster == "small" {
+		t.Fatalf("least-loaded picked the queued cluster: %s", out)
+	}
+
+	_, tsPack := newFleetServer(t, "binpack")
+	code, out = postJSON(t, tsPack.URL+"/place", body)
+	if code != 200 {
+		t.Fatalf("binpack: %d %s", code, out)
+	}
+	json.Unmarshal(out, &resp)
+	if resp.Cluster != "mid" {
+		t.Fatalf("binpack picked %q, want the tight 8-free mid fit", resp.Cluster)
+	}
+}
+
+// TestPlaceValidation: every malformed placement request is rejected with
+// a 4xx, and /place without fleet mode is a 404.
+func TestPlaceValidation(t *testing.T) {
+	_, ts := newFleetServer(t, "")
+	ok := clusterState("large", 256, 256, "")
+	bad := []struct {
+		body []byte
+		code int
+	}{
+		{[]byte(`not json`), 400},
+		{placeBody(t, `[0,60,4]`), 400},                                             // no clusters
+		{placeBody(t, `[0,0,4]`, ok), 400},                                          // zero runtime
+		{placeBody(t, `[0,60,0]`, ok), 400},                                         // zero procs
+		{placeBody(t, `[0,60,4]`, clusterState("nope", 1, 1, "")), 400},             // unknown cluster
+		{placeBody(t, `[0,60,4]`, clusterState("large", 10, 999, "")), 400},         // procs mismatch
+		{placeBody(t, `[0,60,4]`, clusterState("large", 300, 256, "")), 400},        // free > total
+		{placeBody(t, `[0,60,4]`, ok, ok), 400},                                     // duplicate
+		{placeBody(t, `[0,60,4]`, clusterState("large", 256, 256, `[0,0,1]`)), 400}, // bad queued job
+		{placeBody(t, `[0,60,500]`, ok), 422},                                       // fits nowhere
+	}
+	for i, tc := range bad {
+		code, out := postJSON(t, ts.URL+"/place", tc.body)
+		if code != tc.code {
+			t.Errorf("bad place %d: got %d (%s), want %d", i, code, out, tc.code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/place")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /place = %d, want 405", resp.StatusCode)
+	}
+
+	_, plain := newTestServer(t, Config{PolicyName: "SJF", BatchWindow: time.Microsecond})
+	code, _ := postJSON(t, plain.URL+"/place", placeBody(t, `[0,60,4]`, ok))
+	if code != http.StatusNotFound {
+		t.Errorf("/place outside fleet mode = %d, want 404", code)
+	}
+}
+
+// TestFleetConfigValidation: misconfigurations must fail at startup, not
+// surface later as puzzling 404s, and must not leak running shard
+// batchers.
+func TestFleetConfigValidation(t *testing.T) {
+	bad := []Config{
+		{PolicyName: "SJF", PlaceRouter: "binpack"}, // router without shards
+		{Shards: []ShardConfig{{Name: "a", Procs: 8, PolicyName: "SJF"}}, PlaceRouter: "binpakc"},
+		{Shards: []ShardConfig{{Procs: 8, PolicyName: "SJF"}}},                                                        // unnamed shard
+		{Shards: []ShardConfig{{Name: "a", PolicyName: "SJF"}}},                                                       // no procs
+		{Shards: []ShardConfig{{Name: "a", Procs: 8, PolicyName: "SJF"}, {Name: "a", Procs: 8, PolicyName: "F1"}}},    // duplicate
+		{Shards: []ShardConfig{{Name: "a", Procs: 8, PolicyName: "SJF"}, {Name: "b", Procs: 8, PolicyName: "bogus"}}}, // bad engine
+	}
+	for i, cfg := range bad {
+		if srv, err := NewServer(cfg); err == nil {
+			srv.Close()
+			t.Errorf("config %d must fail at startup", i)
+		}
+	}
+}
+
+// TestDecideShardRouting: /v1/decide?cluster=NAME answers with that
+// shard's policy; bare /v1/decide serves the first shard in a fleet-only
+// daemon.
+func TestDecideShardRouting(t *testing.T) {
+	_, ts := newFleetServer(t, "")
+	st := testStates(t, 1, 8)[0]
+	body := EncodeStates([]*QueueState{st})
+
+	var resp struct {
+		Policy string `json:"policy"`
+	}
+	code, out := postJSON(t, ts.URL+"/v1/decide?cluster=mid", body)
+	if code != 200 {
+		t.Fatalf("decide on mid: %d %s", code, out)
+	}
+	json.Unmarshal(out, &resp)
+	if resp.Policy != "SJF" {
+		t.Fatalf("mid shard answered with %q, want SJF", resp.Policy)
+	}
+	code, out = postJSON(t, ts.URL+"/v1/decide", body)
+	if code != 200 {
+		t.Fatalf("bare decide: %d %s", code, out)
+	}
+	json.Unmarshal(out, &resp)
+	if resp.Policy != "kernel" {
+		t.Fatalf("bare decide answered with %q, want the first shard's kernel", resp.Policy)
+	}
+	code, _ = postJSON(t, ts.URL+"/v1/decide?cluster=nope", body)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown cluster = %d, want 404", code)
+	}
+}
+
+// TestFleetMetricsExported: placement counters and the placement-latency
+// histogram appear in /metrics in the existing Prometheus style.
+func TestFleetMetricsExported(t *testing.T) {
+	_, ts := newFleetServer(t, "")
+	body := placeBody(t, `[0,3600,200]`,
+		clusterState("large", 256, 256, ""),
+		clusterState("mid", 128, 128, ""),
+		clusterState("small", 64, 64, ""))
+	for i := 0; i < 3; i++ {
+		if code, out := postJSON(t, ts.URL+"/place", body); code != 200 {
+			t.Fatalf("place: %d %s", code, out)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`rlserv_placements_total{cluster="large"} 3`,
+		`rlserv_placements_total{cluster="mid"} 0`,
+		"rlserv_place_latency_seconds_bucket",
+		"rlserv_place_latency_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentPlaceDecideReload hammers /place and per-shard /v1/decide
+// from many goroutines while one fleet shard's engine hot-swaps mid-load.
+// Under -race this is the proof the placement path, the shard batchers and
+// shard reload share no unsynchronized state; zero requests may fail.
+func TestConcurrentPlaceDecideReload(t *testing.T) {
+	srv, ts := newFleetServer(t, "")
+
+	placeBodies := [][]byte{
+		placeBody(t, `[0,60,4]`,
+			clusterState("large", 100, 256, `[0,3600,32],[-60,600,8]`),
+			clusterState("mid", 64, 128, `[0,900,16]`),
+			clusterState("small", 0, 64, "")),
+		placeBody(t, `[0,7200,160]`,
+			clusterState("large", 256, 256, ""),
+			clusterState("mid", 128, 128, "")),
+	}
+	states := testStates(t, 8, 16)
+	decideBodies := make([][]byte, len(states))
+	for i := range states {
+		decideBodies[i] = EncodeStates(states[i : i+1])
+	}
+	targets := []string{"/v1/decide", "/v1/decide?cluster=mid", "/v1/decide?cluster=small"}
+
+	const clients = 6
+	const perClient = 50
+	var wg sync.WaitGroup
+	errs := make(chan string, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				var code int
+				var out []byte
+				if i%2 == 0 {
+					code, out = postJSON(t, ts.URL+"/place", placeBodies[(c+i)%len(placeBodies)])
+				} else {
+					code, out = postJSON(t, ts.URL+targets[(c+i)%len(targets)], decideBodies[(c+i)%len(decideBodies)])
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Sprintf("client %d req %d: status %d: %s", c, i, code, out)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Swap the mid shard between SJF and F1 while the load runs — the
+	// shard keeps answering and the placement scorer keeps reading
+	// whichever engine is current.
+	reloads := [][]byte{
+		[]byte(`{"cluster":"mid","policy":"F1"}`),
+		[]byte(`{"cluster":"mid","policy":"SJF"}`),
+	}
+	for i := 0; i < 10; i++ {
+		code, out := postJSON(t, ts.URL+"/reload", reloads[i%len(reloads)])
+		if code != http.StatusOK {
+			t.Fatalf("shard reload %d failed: %d %s", i, code, out)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got := srv.Metrics().ReloadsTotal.Load(); got != 10 {
+		t.Fatalf("reloads_total = %d, want 10", got)
+	}
+	if got := srv.Metrics().ErrorsTotal.Load(); got != 0 {
+		t.Fatalf("errors_total = %d, want 0", got)
+	}
+	total := uint64(0)
+	for _, n := range srv.Metrics().Placements() {
+		total += n
+	}
+	if total != srv.Metrics().PlaceTotal.Load() || total == 0 {
+		t.Fatalf("per-cluster placements %d != total %d (or zero)",
+			total, srv.Metrics().PlaceTotal.Load())
+	}
+	// Shard reloads must not touch the base engine or other shards.
+	if code, out := postJSON(t, ts.URL+"/v1/decide", decideBodies[0]); code != 200 ||
+		!bytes.Contains(out, []byte(`"policy":"kernel"`)) {
+		t.Fatalf("base engine changed: %d %s", code, out)
+	}
+}

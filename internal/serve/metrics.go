@@ -20,6 +20,39 @@ type Metrics struct {
 
 	Latency   Histogram // per-request decision latency (seconds)
 	BatchSize Histogram // states per engine forward pass
+
+	// Fleet-mode placement instrumentation: total placement decisions,
+	// the per-request placement latency histogram, and one counter per
+	// fleet shard (registered at startup; empty outside fleet mode).
+	PlaceTotal   atomic.Uint64
+	PlaceLatency Histogram
+	placeNames   []string
+	placeCounts  []atomic.Uint64
+}
+
+// RegisterPlaceClusters installs one placement counter per fleet shard.
+// Call once at startup, before the handler serves.
+func (m *Metrics) RegisterPlaceClusters(names []string) {
+	m.placeNames = append([]string(nil), names...)
+	m.placeCounts = make([]atomic.Uint64, len(names))
+}
+
+// CountPlacement records one placement onto the i-th registered cluster.
+func (m *Metrics) CountPlacement(i int) {
+	m.PlaceTotal.Add(1)
+	if i >= 0 && i < len(m.placeCounts) {
+		m.placeCounts[i].Add(1)
+	}
+}
+
+// Placements returns the per-cluster placement counts in registration
+// order (for tests and status pages).
+func (m *Metrics) Placements() []uint64 {
+	out := make([]uint64, len(m.placeCounts))
+	for i := range m.placeCounts {
+		out[i] = m.placeCounts[i].Load()
+	}
+	return out
 }
 
 // NewMetrics returns a registry with latency buckets spanning 50µs–1s and
@@ -33,6 +66,8 @@ func NewMetrics() *Metrics {
 	m.Latency.counts = make([]atomic.Uint64, len(m.Latency.bounds)+1)
 	m.BatchSize.bounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 	m.BatchSize.counts = make([]atomic.Uint64, len(m.BatchSize.bounds)+1)
+	m.PlaceLatency.bounds = m.Latency.bounds
+	m.PlaceLatency.counts = make([]atomic.Uint64, len(m.PlaceLatency.bounds)+1)
 	return m
 }
 
@@ -120,4 +155,11 @@ func (m *Metrics) WriteProm(w io.Writer, policy string) {
 	fmt.Fprintf(w, "# TYPE rlserv_reloads_total counter\nrlserv_reloads_total %d\n", m.ReloadsTotal.Load())
 	m.Latency.writeProm(w, "rlserv_decision_latency_seconds")
 	m.BatchSize.writeProm(w, "rlserv_batch_size")
+	if len(m.placeNames) > 0 {
+		fmt.Fprintf(w, "# TYPE rlserv_placements_total counter\n")
+		for i, name := range m.placeNames {
+			fmt.Fprintf(w, "rlserv_placements_total{cluster=%q} %d\n", name, m.placeCounts[i].Load())
+		}
+		m.PlaceLatency.writeProm(w, "rlserv_place_latency_seconds")
+	}
 }

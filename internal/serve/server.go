@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"rlsched/internal/fleet"
 )
 
 // Config assembles a Server.
@@ -29,6 +31,16 @@ type Config struct {
 	// (default 1024) — without it a single tiny-job batch request could
 	// force an unboundedly large forward pass.
 	MaxStatesPerRequest int
+	// Shards, when set, runs the daemon in fleet mode: one engine per
+	// cluster (served via /v1/decide?cluster=NAME, hot-swapped via
+	// /reload with a "cluster" field) plus the POST /place placement
+	// endpoint. With Shards set the base Engine/ModelPath/PolicyName may
+	// be omitted; bare /v1/decide then serves the first shard.
+	Shards []ShardConfig
+	// PlaceRouter selects the placement pipeline: "engine" (default —
+	// each shard's own policy scores the job), "least-loaded" or
+	// "binpack".
+	PlaceRouter string
 }
 
 // Server is the decision service: an Engine behind a Batcher behind an
@@ -41,18 +53,15 @@ type Server struct {
 	maxBody   int64
 	maxStates int
 	reloadMu  sync.Mutex // serializes /reload (swap itself is atomic)
+
+	// Fleet mode (nil/empty otherwise): per-cluster shards and the
+	// placement pipeline behind POST /place.
+	shards []*shard
+	placer *fleet.Pipeline
 }
 
 // NewServer builds the service and starts its worker pool.
 func NewServer(cfg Config) (*Server, error) {
-	eng := cfg.Engine
-	if eng == nil {
-		var err error
-		eng, err = LoadEngine(cfg.ModelPath, cfg.PolicyName)
-		if err != nil {
-			return nil, err
-		}
-	}
 	s := &Server{
 		metrics:   NewMetrics(),
 		mux:       http.NewServeMux(),
@@ -66,13 +75,33 @@ func NewServer(cfg Config) (*Server, error) {
 	if s.maxStates <= 0 {
 		s.maxStates = 1024
 	}
-	s.batcher = NewBatcher(eng, BatcherConfig{
-		Workers:  cfg.Workers,
-		Window:   cfg.BatchWindow,
-		MaxBatch: cfg.MaxBatch,
-		OnBatch:  func(states int) { s.metrics.BatchSize.Observe(float64(states)) },
-	})
+	if err := s.initFleet(cfg); err != nil {
+		// Shards built before the failure already run worker pools.
+		s.Close()
+		return nil, err
+	}
+	if cfg.Engine == nil && cfg.ModelPath == "" && cfg.PolicyName == "" && len(s.shards) > 0 {
+		// Fleet-only daemon: bare /v1/decide serves the first shard.
+		s.batcher = s.shards[0].batcher
+	} else {
+		eng := cfg.Engine
+		if eng == nil {
+			var err error
+			eng, err = LoadEngine(cfg.ModelPath, cfg.PolicyName)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+		s.batcher = NewBatcher(eng, BatcherConfig{
+			Workers:  cfg.Workers,
+			Window:   cfg.BatchWindow,
+			MaxBatch: cfg.MaxBatch,
+			OnBatch:  func(states int) { s.metrics.BatchSize.Observe(float64(states)) },
+		})
+	}
 	s.mux.HandleFunc("/v1/decide", s.handleDecide)
+	s.mux.HandleFunc("/place", s.handlePlace)
 	s.mux.HandleFunc("/reload", s.handleReload)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -88,13 +117,41 @@ func (s *Server) Engine() Engine { return s.batcher.Engine() }
 // Metrics exposes the instrumentation registry (read-only use intended).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close drains and stops the batcher workers.
-func (s *Server) Close() { s.batcher.Close() }
+// Close drains and stops every batcher's workers (Batcher.Close is
+// idempotent, so the fleet-only aliasing of the base batcher onto shard 0
+// is harmless).
+func (s *Server) Close() {
+	if s.batcher != nil {
+		s.batcher.Close()
+	}
+	for _, sh := range s.shards {
+		sh.batcher.Close()
+	}
+}
+
+// Shards lists the fleet shard names in registration order (empty outside
+// fleet mode).
+func (s *Server) Shards() []string {
+	names := make([]string, len(s.shards))
+	for i, sh := range s.shards {
+		names[i] = sh.name
+	}
+	return names
+}
 
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST only"))
 		return
+	}
+	batcher := s.batcher
+	if name := r.URL.Query().Get("cluster"); name != "" {
+		_, sh := s.shardByName(name)
+		if sh == nil {
+			s.fail(w, http.StatusNotFound, fmt.Errorf("serve: unknown cluster %q", name))
+			return
+		}
+		batcher = sh.batcher
 	}
 	start := time.Now()
 	rb := reqBufPool.Get().(*reqBuf)
@@ -131,7 +188,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	states := rb.finalize()
-	decs, policy, err := s.batcher.Decide(r.Context(), states)
+	decs, policy, err := batcher.Decide(r.Context(), states)
 	if err != nil {
 		s.fail(w, http.StatusServiceUnavailable, err)
 		rb = nil
@@ -147,10 +204,13 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 }
 
 // reloadSpec is the /reload request body. An empty body re-reads the
-// daemon's original -model path.
+// daemon's original -model path. With a cluster set, the named fleet
+// shard's engine is swapped instead of the base engine (model or policy
+// required — shards have no original path to re-read).
 type reloadSpec struct {
-	Model  string `json:"model"`
-	Policy string `json:"policy"`
+	Model   string `json:"model"`
+	Policy  string `json:"policy"`
+	Cluster string `json:"cluster"`
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -172,6 +232,28 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	if spec.Cluster != "" {
+		_, sh := s.shardByName(spec.Cluster)
+		if sh == nil {
+			s.fail(w, http.StatusNotFound, fmt.Errorf("serve: unknown cluster %q", spec.Cluster))
+			return
+		}
+		if spec.Model == "" && spec.Policy == "" {
+			s.fail(w, http.StatusBadRequest,
+				fmt.Errorf("serve: shard reload needs a model or policy"))
+			return
+		}
+		eng, err := LoadEngine(spec.Model, spec.Policy)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		sh.batcher.Swap(eng)
+		s.metrics.ReloadsTotal.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"cluster\":%q,\"policy\":%q}\n", sh.name, eng.Name())
+		return
+	}
 	if spec.Model == "" && spec.Policy == "" {
 		if s.modelPath == "" {
 			s.fail(w, http.StatusBadRequest,

@@ -74,6 +74,21 @@ func (w *wireJob) UnmarshalJSON(b []byte) error {
 	return fmt.Errorf("serve: empty job spec")
 }
 
+// toJob converts the wire form to a pending job (scheduling state
+// cleared) — the single point all request paths (/v1/decide and /place)
+// build jobs through.
+func (w *wireJob) toJob() job.Job {
+	return job.Job{
+		ID:             w.ID,
+		SubmitTime:     w.Submit,
+		RequestedTime:  w.ReqTime,
+		RequestedProcs: w.ReqProcs,
+		UserID:         w.UserID,
+		StartTime:      -1,
+		EndTime:        -1,
+	}
+}
+
 // wireState is one queue state on the wire.
 type wireState struct {
 	Now        float64   `json:"now"`
@@ -173,16 +188,8 @@ func (rb *reqBuf) parseRequest(body []byte) error {
 
 func (rb *reqBuf) addWireState(ws *wireState) {
 	start := len(rb.arena)
-	for _, wj := range ws.Jobs {
-		rb.arena = append(rb.arena, job.Job{
-			ID:             wj.ID,
-			SubmitTime:     wj.Submit,
-			RequestedTime:  wj.ReqTime,
-			RequestedProcs: wj.ReqProcs,
-			UserID:         wj.UserID,
-			StartTime:      -1,
-			EndTime:        -1,
-		})
+	for i := range ws.Jobs {
+		rb.arena = append(rb.arena, ws.Jobs[i].toJob())
 	}
 	rb.addState(QueueState{
 		Now:        ws.Now,

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+)
+
+// This file is the incremental stepping surface of the simulator, used by
+// the fleet placement layer (internal/fleet) to time-synchronize many
+// member clusters against one global arrival stream. A member is driven
+// externally: jobs arrive via Submit at the moment a placement decision
+// routes them, the clock advances event-by-event via NextEventTime +
+// AdvanceClock, and scheduling decisions are applied through CanStartNow /
+// StartNow / BackfillNow. Driven this way, a single cluster reproduces
+// Run's scheduling semantics exactly (asserted by a parity test in
+// internal/fleet): the primitives below are the same code paths Schedule
+// uses, only with the time advance hoisted out to the caller.
+
+// Submit injects an arriving job at the current clock: it joins the
+// sequence history and the pending queue immediately. Submit is the
+// arrival path of incrementally driven simulators and cannot be mixed with
+// preloaded future arrivals (Load a full sequence OR Submit jobs one by
+// one). The job's SubmitTime must not lie in the future — advance the
+// clock to the arrival instant first.
+func (s *Simulator) Submit(j *job.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if j.RequestedProcs > s.cfg.Processors {
+		return fmt.Errorf("sim: job %d requests %d > %d procs",
+			j.ID, j.RequestedProcs, s.cfg.Processors)
+	}
+	if s.arrivalIdx != len(s.seq) {
+		return fmt.Errorf("sim: cannot Submit while %d preloaded arrivals are pending",
+			len(s.seq)-s.arrivalIdx)
+	}
+	if j.SubmitTime > s.now {
+		return fmt.Errorf("sim: job %d submitted in the future (%g > clock %g)",
+			j.ID, j.SubmitTime, s.now)
+	}
+	if s.userProcs == nil {
+		s.userProcs = map[int]int{}
+	}
+	j.Reset()
+	s.seq = append(s.seq, j)
+	s.arrivalIdx = len(s.seq)
+	s.pending = append(s.pending, j)
+	return nil
+}
+
+// AdvanceClock moves the clock forward to t, completing jobs and admitting
+// preloaded arrivals in event order. Times at or before the current clock
+// are a no-op (the clock never runs backwards).
+func (s *Simulator) AdvanceClock(t float64) {
+	if t <= s.now {
+		return
+	}
+	s.advanceTo(t)
+}
+
+// NextEventTime returns the time of the earliest internal event (a running
+// job completing or a preloaded arrival), and whether one exists.
+func (s *Simulator) NextEventTime() (float64, bool) {
+	t := -1.0
+	if len(s.running) > 0 {
+		t = s.running[0].EndTime
+	}
+	if s.arrivalIdx < len(s.seq) {
+		if at := s.seq[s.arrivalIdx].SubmitTime; t < 0 || at < t {
+			t = at
+		}
+	}
+	if t < 0 {
+		return 0, false
+	}
+	return t, true
+}
+
+// CanStartNow reports whether the pending job could start at the current
+// instant (free processors and, when quotas are active, quota headroom).
+func (s *Simulator) CanStartNow(j *job.Job) bool { return s.canStart(j) }
+
+// StartNow launches a pending job at the current clock. It is the caller's
+// Schedule: the job must be pending and startable.
+func (s *Simulator) StartNow(j *job.Job) error {
+	if !s.canStart(j) {
+		return fmt.Errorf("sim: job %d (%d procs) cannot start now (%d free)",
+			j.ID, j.RequestedProcs, s.cluster.Free())
+	}
+	for _, p := range s.pending {
+		if p == j {
+			s.start(j)
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: job %d is not pending", j.ID)
+}
+
+// BackfillNow runs one backfilling pass at the current instant around the
+// committed job — exactly the pass Schedule runs per event while the
+// chosen job waits. A no-op when backfilling is disabled.
+func (s *Simulator) BackfillNow(chosen *job.Job) {
+	if !s.cfg.Backfill {
+		return
+	}
+	if s.cfg.Conservative {
+		s.conservativeBackfill(chosen)
+	} else {
+		s.backfill(chosen)
+	}
+}
+
+// Result snapshots the run's metrics at the current instant (final once no
+// events remain).
+func (s *Simulator) Result() metrics.Result { return s.result() }
+
+// UtilizationOver reports the busy fraction over an explicit horizon —
+// the hook for fleet-wide aggregation, where every member must be
+// measured over the same [start, end] window rather than its own
+// first-arrival-to-last-event span. Advance the clock to end first so the
+// busy-time accounting covers the whole window.
+func (s *Simulator) UtilizationOver(start, end float64) float64 {
+	return s.cluster.Utilization(start, end)
+}
+
+// PendingWork returns the queued work area Σ requested_time·procs over the
+// pending queue — the backlog pressure signal placement scorers consume.
+func (s *Simulator) PendingWork() float64 {
+	w := 0.0
+	for _, j := range s.pending {
+		w += j.RequestedTime * float64(j.RequestedProcs)
+	}
+	return w
+}
+
+// RunningWork returns the committed remaining work area
+// Σ (end−now)·procs over running jobs, using the actual end times the
+// simulator knows (schedulers never see them; the placement layer uses the
+// aggregate the way a monitoring system would).
+func (s *Simulator) RunningWork() float64 {
+	w := 0.0
+	for _, j := range s.running {
+		if rem := j.EndTime - s.now; rem > 0 {
+			w += rem * float64(j.RequestedProcs)
+		}
+	}
+	return w
+}

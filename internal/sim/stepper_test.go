@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"testing"
+
+	"rlsched/internal/job"
+)
+
+func stepJob(id int, submit, runtime float64, procs int) *job.Job {
+	return job.New(id, submit, runtime, procs, runtime)
+}
+
+// TestSubmitAndEventStepping drives a simulator purely through the
+// incremental surface and checks clock, events and work accounting.
+func TestSubmitAndEventStepping(t *testing.T) {
+	s := New(Config{Processors: 8})
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("fresh simulator reports a pending event")
+	}
+
+	a := stepJob(1, 0, 100, 4)
+	if err := s.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	if s.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want 1", s.PendingCount())
+	}
+	if got := s.PendingWork(); got != 400 {
+		t.Fatalf("PendingWork = %g, want 400", got)
+	}
+	if !s.CanStartNow(a) {
+		t.Fatal("job fits an idle cluster")
+	}
+	if err := s.StartNow(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RunningWork(); got != 400 {
+		t.Fatalf("RunningWork = %g, want 400", got)
+	}
+
+	// Starting it again must fail: it is no longer pending.
+	if err := s.StartNow(a); err == nil {
+		t.Fatal("StartNow on a running job must error")
+	}
+
+	// A job too wide for the free processors cannot start.
+	b := stepJob(2, 0, 50, 6)
+	if err := s.Submit(b); err != nil {
+		t.Fatal(err)
+	}
+	if s.CanStartNow(b) {
+		t.Fatal("6 procs cannot start with 4 free")
+	}
+	if err := s.StartNow(b); err == nil {
+		t.Fatal("StartNow must refuse an unstartable job")
+	}
+
+	et, ok := s.NextEventTime()
+	if !ok || et != 100 {
+		t.Fatalf("next event = %v,%v, want 100,true", et, ok)
+	}
+	s.AdvanceClock(50)
+	if got := s.RunningWork(); got != 200 {
+		t.Fatalf("RunningWork at t=50 = %g, want 200", got)
+	}
+	s.AdvanceClock(40) // never backwards
+	if s.Now() != 50 {
+		t.Fatalf("clock moved backwards to %g", s.Now())
+	}
+	s.AdvanceClock(100)
+	if !s.CanStartNow(b) {
+		t.Fatal("completion must free processors")
+	}
+	if err := s.StartNow(b); err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceClock(150)
+	if !s.Done() {
+		t.Fatal("both jobs completed, Done must be true")
+	}
+	res := s.Result()
+	if len(res.Jobs) != 2 || res.Utilization <= 0 {
+		t.Fatalf("result jobs=%d util=%g", len(res.Jobs), res.Utilization)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitGuards covers the error paths of the incremental surface.
+func TestSubmitGuards(t *testing.T) {
+	s := New(Config{Processors: 4})
+	if err := s.Submit(stepJob(1, 10, 60, 2)); err == nil {
+		t.Fatal("future submission must error before the clock reaches it")
+	}
+	if err := s.Submit(stepJob(2, 0, 60, 8)); err == nil {
+		t.Fatal("a job wider than the cluster must be rejected")
+	}
+
+	// Preloaded future arrivals and Submit cannot mix.
+	s2 := New(Config{Processors: 4})
+	if err := s2.Load([]*job.Job{stepJob(3, 5, 60, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Submit(stepJob(4, 0, 60, 2)); err == nil {
+		t.Fatal("Submit must refuse while preloaded arrivals are pending")
+	}
+}
+
+// TestBackfillNowMatchesScheduleBackfill: with backfilling enabled,
+// BackfillNow starts exactly the jobs Schedule's internal pass would.
+func TestBackfillNowStartsSafeJobs(t *testing.T) {
+	s := New(Config{Processors: 8, Backfill: true})
+	long := stepJob(1, 0, 1000, 8)
+	if err := s.Submit(long); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartNow(long); err != nil {
+		t.Fatal(err)
+	}
+	// Wide job must wait for the full cluster; a short narrow job can
+	// backfill ahead of it without delaying its reservation.
+	wide := stepJob(2, 0, 100, 8)
+	short := stepJob(3, 0, 50, 2)
+	if err := s.Submit(wide); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(short); err != nil {
+		t.Fatal(err)
+	}
+	s.BackfillNow(wide)
+	if short.Started() {
+		t.Fatal("nothing is free at t=0; backfill cannot start anything")
+	}
+	s.AdvanceClock(1000) // long completes; 8 free
+	// wide's reservation is now; short (50s, 2p) would delay it.
+	s.BackfillNow(wide)
+	if short.Started() {
+		t.Fatal("backfill must not delay the committed job's reservation")
+	}
+	if !s.CanStartNow(wide) {
+		t.Fatal("wide fits after the long job completes")
+	}
+}

@@ -127,6 +127,45 @@ func (t *Trace) SampleQueueInto(rng *rand.Rand, dst []*job.Job) []*job.Job {
 	return dst
 }
 
+// Concat splices traces into one workload-shift stream: part i+1's jobs
+// are rebased to start one mean interarrival after part i's last arrival,
+// so the arrival process shifts regime without a gap or an overlap. Jobs
+// are cloned with scheduling state cleared and renumbered 1..N across the
+// whole stream — parts drawn from different generators typically reuse
+// the same ID range, and two same-ID jobs running concurrently would
+// collide in the simulator's allocation table. The cluster size is the
+// max over parts (a fleet routing the stream decides where jobs actually
+// run). This is the stream builder behind the fleet placement layer's
+// workload-shift scenario.
+func Concat(name string, parts ...*Trace) *Trace {
+	out := &Trace{Name: name}
+	offset := 0.0
+	id := 0
+	for _, p := range parts {
+		if p.Processors > out.Processors {
+			out.Processors = p.Processors
+		}
+		if len(p.Jobs) == 0 {
+			continue
+		}
+		base := p.Jobs[0].SubmitTime
+		for _, j := range p.Jobs {
+			c := j.Clone()
+			c.SubmitTime = c.SubmitTime - base + offset
+			id++
+			c.ID = id
+			out.Jobs = append(out.Jobs, c)
+		}
+		span := p.Jobs[len(p.Jobs)-1].SubmitTime - base
+		gap := p.ComputeStats().MeanInterarrival
+		if gap <= 0 {
+			gap = 1
+		}
+		offset += span + gap
+	}
+	return out
+}
+
 // Stats summarizes the trace in the form of Table II.
 type Stats struct {
 	Name string

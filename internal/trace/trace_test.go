@@ -309,3 +309,49 @@ func TestSampleQueueIntoReusesBuffer(t *testing.T) {
 		}
 	}
 }
+
+func TestConcatShiftsRegimes(t *testing.T) {
+	mk := func(name string, procs int, submits []float64) *Trace {
+		tr := &Trace{Name: name, Processors: procs}
+		for i, s := range submits {
+			tr.Jobs = append(tr.Jobs, job.New(i+1, s, 60, 1, 60))
+		}
+		return tr
+	}
+	a := mk("a", 128, []float64{100, 110, 120}) // mean interarrival 10
+	b := mk("b", 256, []float64{0, 50})
+
+	c := Concat("shift", a, b)
+	if c.Processors != 256 {
+		t.Fatalf("processors = %d, want max(128,256)", c.Processors)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("jobs = %d, want 5", c.Len())
+	}
+	want := []float64{0, 10, 20, 30, 80} // a rebased to 0; b starts span+gap = 20+10
+	for i, w := range want {
+		if got := c.Jobs[i].SubmitTime; got != w {
+			t.Fatalf("job %d submit = %g, want %g", i, got, w)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Parts reuse the ID range 1..n; the concat must renumber so no two
+	// stream jobs collide in a simulator's allocation table.
+	seen := map[int]bool{}
+	for _, j := range c.Jobs {
+		if seen[j.ID] {
+			t.Fatalf("duplicate job ID %d in concatenated stream", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	// Clones: mutating the concat must not touch the parts.
+	c.Jobs[0].StartTime = 5
+	if a.Jobs[0].Started() {
+		t.Fatal("Concat must clone jobs")
+	}
+	if empty := Concat("none"); empty.Len() != 0 {
+		t.Fatal("empty concat must be empty")
+	}
+}
