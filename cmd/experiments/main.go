@@ -41,6 +41,8 @@ func main() {
 	traceJobs := flag.Int("trace-jobs", 0, "override synthesized trace length")
 	iters := flag.Int("iters", 0, "override PPO policy/value iterations")
 	workers := flag.Int("workers", 0, "parallel rollout workers for training runs (0 = GOMAXPROCS)")
+	migrate := flag.String("migrate", "",
+		"cross-cluster migration policy for fleet experiments: off|hysteresis|always")
 	loadgen := flag.String("loadgen", "", "load-generator mode: base URL of a running rlservd")
 	loadDur := flag.Duration("load-duration", 5*time.Second, "loadgen measurement window")
 	loadConns := flag.Int("load-conns", 4, "loadgen concurrent connections")
@@ -118,6 +120,7 @@ func main() {
 	if *workers > 0 {
 		o.Workers = *workers
 	}
+	o.Migrate = *migrate
 
 	ids := []string{*run}
 	if *run == "all" {

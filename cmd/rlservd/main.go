@@ -38,6 +38,16 @@
 //	curl -s 'localhost:9090/v1/decide?cluster=small' -d '...'
 //	curl -s -X POST localhost:9090/reload -d '{"cluster": "small", "policy": "F1"}'
 //
+// With -migrate, POST /migrate asks whether a queued job should move off
+// its current cluster (post the states with the job already excluded from
+// its own queue; the answer applies the hysteresis margin and the
+// drained-destination gate of the fleet migration controller):
+//
+//	curl -s localhost:9090/migrate -d '{
+//	  "job": [-600, 3600, 32], "from": "large",
+//	  "clusters": [{"name": "large", "free_procs": 0,  "total_procs": 256, "jobs": [[-60,600,16]]},
+//	               {"name": "small", "free_procs": 64, "total_procs": 64,  "jobs": []}]}'
+//
 // Observe:
 //
 //	curl -s localhost:9090/metrics
@@ -105,16 +115,22 @@ func main() {
 		"fleet shard spec name=X,procs=N,model=PATH|policy=NAME (repeatable; enables /place)")
 	placeRouter := flag.String("place-router", "",
 		"fleet placement pipeline: engine (default) | least-loaded | binpack")
+	migrate := flag.Bool("migrate", false,
+		"fleet mode: enable the POST /migrate re-placement endpoint and its /metrics counters")
+	migrateMargin := flag.Float64("migrate-margin", 0.25,
+		"hysteresis margin a recommended move must clear (normalized score scale)")
 	flag.Parse()
 
 	srv, err := serve.NewServer(serve.Config{
-		ModelPath:   *model,
-		PolicyName:  *policy,
-		Workers:     *workers,
-		BatchWindow: *batchWindow,
-		MaxBatch:    *maxBatch,
-		Shards:      shards,
-		PlaceRouter: *placeRouter,
+		ModelPath:     *model,
+		PolicyName:    *policy,
+		Workers:       *workers,
+		BatchWindow:   *batchWindow,
+		MaxBatch:      *maxBatch,
+		Shards:        shards,
+		PlaceRouter:   *placeRouter,
+		Migrate:       *migrate,
+		MigrateMargin: *migrateMargin,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rlservd: %v\n", err)

@@ -41,6 +41,11 @@ type Options struct {
 	// run (0 = GOMAXPROCS). Any value yields bit-identical results;
 	// only wall-clock changes.
 	Workers int
+	// Migrate selects the cross-cluster migration policy fleet
+	// experiments apply to score-capable routers: "" or "off" (one-shot
+	// placement), "hysteresis", or "always" (see internal/fleet and the
+	// fleet-migration experiment, which always compares all three).
+	Migrate string
 }
 
 // Quick returns CI-scale options: minutes, not hours.

@@ -28,7 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"table2", "table5", "table6", "table7", "table8", "table9", "table10", "table11",
 		"ablation-backfill", "ablation-kernel", "ablation-obswindow", "ablation-dqn",
-		"fleet-placement",
+		"fleet-placement", "fleet-migration",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -290,6 +290,66 @@ func TestFleetPlacement(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("determinism note missing: %v", last.Notes)
+	}
+}
+
+// TestFleetMigration runs the migration comparison at the quick-scale
+// evaluation dimensions (training is not involved, so this is cheap) and
+// checks the experiment's own acceptance claim: hysteresis migration
+// strictly improves fleet-wide bounded slowdown over one-shot placement
+// under the workload-shift stream, with sane accounting in the table.
+func TestFleetMigration(t *testing.T) {
+	o := ultraQuick()
+	o.TraceJobs = 800
+	o.EvalSeqLen = 128
+	o.EvalNSeq = 3
+	o.MaxObserve = 16
+	arts, err := Run("fleet-migration", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 {
+		t.Fatalf("fleet-migration artifacts = %d, want 1 table", len(arts))
+	}
+	tab := arts[0].(*Table)
+	policies := []string{"no-migration", "hysteresis", "always-rebalance"}
+	if len(tab.Rows) != len(policies) {
+		t.Fatalf("rows = %d, want %d policies", len(tab.Rows), len(policies))
+	}
+	bsld := map[string]float64{}
+	moves := map[string]int{}
+	for i, r := range tab.Rows {
+		if r[0] != policies[i] {
+			t.Fatalf("row %d = %q, want %q", i, r[0], policies[i])
+		}
+		var b float64
+		var m int
+		if _, err := fmt.Sscanf(r[1], "%f", &b); err != nil {
+			t.Fatalf("row %q bsld cell %q: %v", r[0], r[1], err)
+		}
+		if _, err := fmt.Sscanf(r[3], "%d", &m); err != nil {
+			t.Fatalf("row %q moves cell %q: %v", r[0], r[3], err)
+		}
+		bsld[r[0]], moves[r[0]] = b, m
+	}
+	if moves["no-migration"] != 0 {
+		t.Errorf("no-migration recorded %d moves", moves["no-migration"])
+	}
+	if moves["hysteresis"] == 0 {
+		t.Error("hysteresis migration never moved a job on the shift stream")
+	}
+	if bsld["hysteresis"] >= bsld["no-migration"] {
+		t.Errorf("hysteresis bsld %.2f did not improve on no-migration %.2f",
+			bsld["hysteresis"], bsld["no-migration"])
+	}
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "migration win verified") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("self-check note missing: %v", tab.Notes)
 	}
 }
 

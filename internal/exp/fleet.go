@@ -61,6 +61,11 @@ func fleetStreams(o Options, steady, shift *trace.Trace) [][]*trace.Trace {
 // training behind the policy is itself worker-count independent); the
 // determinism note at the bottom is verified per run.
 func FleetPlacement(o Options) ([]Artifact, error) {
+	// Fail a mistyped -migrate policy in milliseconds, not after the
+	// training run and the baseline evaluations.
+	if _, err := migrationConfigFor(o.Migrate, 1); err != nil {
+		return nil, err
+	}
 	cache := newTraceCache(o)
 	agent, _, err := trainRL(cache, o, "Lublin-1", metrics.BoundedSlowdown, false, false)
 	if err != nil {
@@ -99,6 +104,20 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 			}
 			// Streams are resampled identically per router (same seed).
 			streams := fleetStreams(o, cache.get("Lublin-1"), cache.get("Lublin-2"))[si]
+			// -migrate wires the migration controller under every router
+			// that can drive it (the scored pipelines; the random and
+			// round-robin baselines expose no margins to act on).
+			if _, scored := router.(fleet.ScoredRouter); scored && len(streams) > 0 {
+				cfg, err := migrationConfigFor(o.Migrate, sweepInterval(streams[0].Jobs))
+				if err != nil {
+					return nil, err
+				}
+				if cfg != nil {
+					if err := f.EnableMigration(*cfg); err != nil {
+						return nil, err
+					}
+				}
+			}
 			var bsldSum, utilSum float64
 			counts := make([]int, 3)
 			var firstAssign []int
@@ -127,6 +146,17 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 				return nil, err
 			}
 			again := fleetStreams(o, cache.get("Lublin-1"), cache.get("Lublin-2"))[si][0]
+			if _, scored := router2.(fleet.ScoredRouter); scored {
+				cfg, err := migrationConfigFor(o.Migrate, sweepInterval(again.Jobs))
+				if err != nil {
+					return nil, err
+				}
+				if cfg != nil {
+					if err := f2.EnableMigration(*cfg); err != nil {
+						return nil, err
+					}
+				}
+			}
 			res2, err := f2.Run(again.Jobs)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"fmt"
+
+	"rlsched/internal/fleet"
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+	"rlsched/internal/sched"
+	"rlsched/internal/sim"
+	"rlsched/internal/trace"
+)
+
+func init() {
+	registry["fleet-migration"] = FleetMigration
+}
+
+// migrationMembers is the heterogeneous fleet the migration experiment
+// runs on: no RL member, so the experiment isolates the value of
+// re-placement from the value of the learned per-cluster policy (and needs
+// no training run). FCFS on the large cluster makes head-of-line blocking
+// — the canonical stranding mechanism — possible.
+func migrationMembers(o Options) []fleet.MemberConfig {
+	return []fleet.MemberConfig{
+		{Name: "large-256", Sim: sim.Config{Processors: 256, MaxObserve: o.MaxObserve}, Scheduler: sched.FCFS()},
+		{Name: "mid-128", Sim: sim.Config{Processors: 128, MaxObserve: o.MaxObserve}, Scheduler: sched.SJF()},
+		{Name: "small-64", Sim: sim.Config{Processors: 64, MaxObserve: o.MaxObserve}, Scheduler: sched.F1()},
+	}
+}
+
+// migrationStreams extends the fleet-placement workload-shift stream with
+// a mid-stream burst: the second half switches to the Lublin-2 regime with
+// arrivals compressed 4×, briefly saturating the fleet. Queued jobs are
+// placed on burst-time signals; as actual runtimes unfold the members
+// drain at different speeds, which is precisely where one-shot placement
+// strands work. Streams are identical across policies for a fixed seed.
+func migrationStreams(o Options, steady, shift *trace.Trace) [][]*job.Job {
+	streams := fleetStreams(o, steady, shift)[1]
+	out := make([][]*job.Job, len(streams))
+	for s, st := range streams {
+		n := len(st.Jobs)
+		h := n / 2
+		// Re-compress the shifted half's interarrivals 4× in place
+		// (st.Jobs are fresh clones owned by this call).
+		if h < n {
+			base := st.Jobs[h].SubmitTime
+			for _, j := range st.Jobs[h:] {
+				j.SubmitTime = base + (j.SubmitTime-base)/4
+			}
+		}
+		out[s] = st.Jobs
+	}
+	return out
+}
+
+// sweepInterval derives the migration sweep period from the stream: ~8
+// mean interarrivals, so a sweep sees a few new placements' worth of
+// drift without dominating runtime.
+func sweepInterval(stream []*job.Job) float64 {
+	if len(stream) < 2 {
+		return 1
+	}
+	span := stream[len(stream)-1].SubmitTime - stream[0].SubmitTime
+	iv := 8 * span / float64(len(stream)-1)
+	if iv <= 0 {
+		iv = 1
+	}
+	return iv
+}
+
+// migrationPolicy names one row of the comparison.
+type migrationPolicy struct {
+	name string
+	cfg  func(interval float64) *fleet.MigrationConfig
+}
+
+// migrationConfigFor maps a -migrate policy name to a controller config
+// (nil for "off"/""), or errors on an unknown name.
+func migrationConfigFor(policy string, interval float64) (*fleet.MigrationConfig, error) {
+	switch policy {
+	case "", "off":
+		return nil, nil
+	case "hysteresis":
+		cfg := fleet.HysteresisMigration(interval)
+		return &cfg, nil
+	case "always":
+		cfg := fleet.AlwaysRebalance(interval)
+		return &cfg, nil
+	}
+	return nil, fmt.Errorf("exp: unknown migration policy %q (off|hysteresis|always)", policy)
+}
+
+// FleetMigration compares one-shot placement against hysteresis migration
+// and greedy always-rebalance on the burst-sharpened workload-shift
+// stream, over a heuristic [256 FCFS, 128 SJF, 64 F1] fleet routed by the
+// least-loaded pipeline. It self-checks the claim that motivates the
+// subsystem: under a workload shift, hysteresis migration must strictly
+// improve fleet-wide mean bounded slowdown over no migration.
+func FleetMigration(o Options) ([]Artifact, error) {
+	cache := newTraceCache(o)
+	policies := []migrationPolicy{
+		{"no-migration", func(float64) *fleet.MigrationConfig { return nil }},
+		{"hysteresis", func(iv float64) *fleet.MigrationConfig {
+			cfg := fleet.HysteresisMigration(iv)
+			return &cfg
+		}},
+		{"always-rebalance", func(iv float64) *fleet.MigrationConfig {
+			cfg := fleet.AlwaysRebalance(iv)
+			return &cfg
+		}},
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Fleet migration, workload shift + burst: %d × %d-job streams over [256 FCFS, 128 SJF, 64 F1], least-loaded router",
+			o.EvalNSeq, o.EvalSeqLen),
+		Header: []string{"Policy", "fleet bsld", "fleet util", "moves", "migrated", "mean delay", "bsld mig/native"},
+	}
+	bslds := map[string]float64{}
+	for _, pol := range policies {
+		streams := migrationStreams(o, cache.get("Lublin-1"), cache.get("Lublin-2"))
+		var bsldSum, utilSum, delaySum float64
+		var moves, migrated, native int
+		var migBsldSum, natBsldSum float64
+		for _, stream := range streams {
+			f, err := fleet.New(migrationMembers(o), fleet.LeastLoadedPipeline())
+			if err != nil {
+				return nil, err
+			}
+			if cfg := pol.cfg(sweepInterval(stream)); cfg != nil {
+				if err := f.EnableMigration(*cfg); err != nil {
+					return nil, err
+				}
+			}
+			res, err := f.Run(stream)
+			if err != nil {
+				return nil, fmt.Errorf("fleet-migration: %s: %w", pol.name, err)
+			}
+			bsldSum += metrics.Value(metrics.BoundedSlowdown, res.Fleet)
+			utilSum += res.Fleet.Utilization
+			moves += res.Fleet.Moves
+			// The migrated/native aggregates are job-weighted across
+			// streams (a stream that migrated nothing contributes no
+			// mass), so the split and the mean delay describe the jobs
+			// that actually moved, not a per-stream average diluted by
+			// zero-migration streams.
+			nm := len(res.Fleet.MigratedJobs)
+			nn := len(res.Fleet.Jobs) - nm
+			migrated += nm
+			native += nn
+			delaySum += res.Fleet.MigrationDelaySum
+			mb, nb := metrics.MigrationSplit(metrics.BoundedSlowdown, res.Fleet)
+			migBsldSum += mb * float64(nm)
+			natBsldSum += nb * float64(nn)
+		}
+		n := float64(len(streams))
+		bslds[pol.name] = bsldSum / n
+		split, delay := "—", "—"
+		if migrated > 0 {
+			split = fmt.Sprintf("%.2f/%.2f",
+				migBsldSum/float64(migrated), natBsldSum/float64(native))
+			delay = fmt.Sprintf("%.0fs", delaySum/float64(migrated))
+		}
+		t.AddRow(pol.name,
+			fmt.Sprintf("%.2f", bsldSum/n),
+			fmt.Sprintf("%.3f", utilSum/n),
+			fmt.Sprintf("%d", moves),
+			fmt.Sprintf("%d", migrated),
+			delay,
+			split)
+	}
+
+	if bslds["hysteresis"] < bslds["no-migration"] {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"migration win verified: hysteresis %.2f < no-migration %.2f fleet bsld under the shift stream",
+			bslds["hysteresis"], bslds["no-migration"]))
+	} else {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"migration win VIOLATED: hysteresis %.2f >= no-migration %.2f",
+			bslds["hysteresis"], bslds["no-migration"]))
+		return []Artifact{t}, fmt.Errorf(
+			"fleet-migration: hysteresis (%.3f) did not improve on no-migration (%.3f)",
+			bslds["hysteresis"], bslds["no-migration"])
+	}
+	return []Artifact{t}, nil
+}

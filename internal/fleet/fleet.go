@@ -59,6 +59,7 @@ type MemberConfig struct {
 // member wraps a simulator driven through the incremental stepping
 // surface. committed is the job the local policy has chosen and is
 // waiting to start — exactly the job sim.Schedule would be blocking on.
+// movedIn/movedOut count migration moves into and out of the member.
 type member struct {
 	name       string
 	cfg        sim.Config
@@ -66,6 +67,8 @@ type member struct {
 	sched      sim.Scheduler
 	committed  *job.Job
 	placements int
+	movedIn    int
+	movedOut   int
 }
 
 // pump applies local scheduling decisions at the current instant without
@@ -140,6 +143,7 @@ type Fleet struct {
 	members []*member
 	router  Router
 	cands   []*Candidate
+	migCfg  *MigrationConfig
 }
 
 // New assembles a fleet. Members must have distinct names.
@@ -174,6 +178,21 @@ func New(members []MemberConfig, router Router) (*Fleet, error) {
 	return f, nil
 }
 
+// EnableMigration turns on cross-cluster re-placement of pending jobs for
+// subsequent Runs (see migrate.go and DESIGN.md §7). The fleet's router
+// must be a ScoredRouter — migration needs score margins, not just picks.
+func (f *Fleet) EnableMigration(cfg MigrationConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if _, ok := f.router.(ScoredRouter); !ok {
+		return fmt.Errorf("fleet: router %s cannot drive migration (no per-candidate scores)",
+			f.router.Name())
+	}
+	f.migCfg = &cfg
+	return nil
+}
+
 // reset returns every member to an idle cluster at t=0.
 func (f *Fleet) reset() error {
 	for _, m := range f.members {
@@ -182,6 +201,8 @@ func (f *Fleet) reset() error {
 		}
 		m.committed = nil
 		m.placements = 0
+		m.movedIn = 0
+		m.movedOut = 0
 	}
 	return nil
 }
@@ -202,10 +223,18 @@ func (f *Fleet) candidates() []*Candidate {
 
 // ClusterResult is one member's share of a fleet run.
 type ClusterResult struct {
+	// Name and Processors identify the member.
 	Name       string
 	Processors int
+	// Placements counts the jobs the router assigned here at arrival.
 	Placements int
-	Result     metrics.Result
+	// MovedIn / MovedOut count migration moves into and out of the
+	// member (zero when migration is disabled).
+	MovedIn  int
+	MovedOut int
+	// Result is the member's scheduling result; its migration fields
+	// cover the migrated jobs that finally ran here.
+	Result metrics.Result
 }
 
 // Result is a finished fleet run: per-cluster results plus the fleet-wide
@@ -224,13 +253,19 @@ type Result struct {
 // (pass freshly cloned windows, e.g. trace.Window). Placement is strictly
 // serial in arrival order, so results are deterministic for deterministic
 // routers and member policies regardless of how the surrounding code is
-// parallelized.
+// parallelized. With migration enabled (EnableMigration), re-placement
+// sweeps interleave with arrivals and continue while the backlog drains;
+// with it disabled, Run follows the exact pre-migration code path.
 func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 	if len(stream) == 0 {
 		return nil, fmt.Errorf("fleet: empty stream")
 	}
 	if err := f.reset(); err != nil {
 		return nil, err
+	}
+	var mig *migrator
+	if f.migCfg != nil {
+		mig = newMigrator(*f.migCfg, f.router.(ScoredRouter), stream[0].SubmitTime)
 	}
 	assignments := make([]int, len(stream))
 	prev := stream[0].SubmitTime
@@ -239,6 +274,11 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 			return nil, fmt.Errorf("fleet: stream job %d out of submit order", i)
 		}
 		prev = j.SubmitTime
+		if mig != nil {
+			if err := f.sweepUntil(mig, j.SubmitTime); err != nil {
+				return nil, err
+			}
+		}
 		for _, m := range f.members {
 			if err := m.syncTo(j.SubmitTime); err != nil {
 				return nil, err
@@ -265,9 +305,15 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 		}
 	}
 	res := &Result{Assignments: assignments}
-	for _, m := range f.members {
-		if err := m.drain(); err != nil {
+	if mig != nil {
+		if err := f.drainMigrating(mig); err != nil {
 			return nil, err
+		}
+	} else {
+		for _, m := range f.members {
+			if err := m.drain(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Utilization must be measured over one shared fleet horizon: a
@@ -288,10 +334,17 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 		results[i] = m.sim.Result()
 		results[i].Utilization = m.sim.UtilizationOver(start, end)
 		procs[i] = m.cfg.Processors
+	}
+	if mig != nil {
+		mig.fillMigrationMetrics(results)
+	}
+	for i, m := range f.members {
 		res.Clusters = append(res.Clusters, ClusterResult{
 			Name:       m.name,
 			Processors: m.cfg.Processors,
 			Placements: m.placements,
+			MovedIn:    m.movedIn,
+			MovedOut:   m.movedOut,
 			Result:     results[i],
 		})
 	}

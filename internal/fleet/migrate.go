@@ -1,0 +1,296 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+)
+
+// Cross-cluster job migration (DESIGN.md §7): the placement decision made
+// at arrival is revisited for jobs that are still waiting. Every sweep
+// interval the controller withdraws each still-pending job, re-scores it
+// through the same filter/score pipeline that placed it, and moves it only
+// when the re-placement wins by more than a hysteresis margin — subject to
+// a per-sweep budget, a per-job cooldown and a per-job lifetime move cap,
+// so thrash is impossible by construction, not by tuning. A job that stays
+// put is resubmitted to its current cluster, which restores its exact
+// queue position (sim.Submit orders by original submit time), making an
+// aborted move a provable no-op.
+
+// ScoredRouter is the router capability migration needs: per-candidate
+// total scores, not just an argmax, so the controller can measure the
+// margin between a job's current cluster and the best alternative.
+// Pipeline implements it; the Random and RoundRobin baselines do not
+// (there is no meaningful "how much better" under them).
+type ScoredRouter interface {
+	Router
+	// PlaceScored scores the job against every candidate (NaN for
+	// filtered-out clusters) and returns the argmax index, or -1 when no
+	// cluster is feasible.
+	PlaceScored(j *job.Job, cands []*Candidate, scores []float64) int
+}
+
+// MigrationConfig parameterizes the migration controller. The zero value
+// is invalid (Interval is required); HysteresisMigration and
+// AlwaysRebalance build the two standard policies.
+type MigrationConfig struct {
+	// Interval is the global-clock period between re-placement sweeps,
+	// in simulation seconds. Required (> 0).
+	Interval float64
+	// Hysteresis is the minimum score margin — best candidate minus the
+	// job's current cluster, on the pipeline's normalized scale — a move
+	// must clear. 0 moves on any strict improvement (always-rebalance).
+	Hysteresis float64
+	// MaxMovesPerSweep caps the migration budget of one sweep across the
+	// whole fleet (0 = unlimited).
+	MaxMovesPerSweep int
+	// Cooldown is the minimum simulated time between two moves of the
+	// same job (0 = none).
+	Cooldown float64
+	// MaxMovesPerJob caps how many times any single job may migrate over
+	// its lifetime (0 = unlimited). A positive cap bounds total fleet
+	// disruption at MaxMovesPerJob × jobs regardless of scoring noise.
+	MaxMovesPerJob int
+	// RequireStartNow additionally gates every move on the destination
+	// being genuinely drained at the sweep instant: free capacity to
+	// start the job now AND an empty pending queue. Score margins are
+	// estimates; "the target can run this job right now and nobody there
+	// is waiting" is a fact — under the gate the moved job strictly
+	// improves its start time and no queued job at the destination loses
+	// the capacity it was waiting for (the two failure modes of greedy
+	// rebalancing onto clusters that merely *look* lighter).
+	RequireStartNow bool
+}
+
+func (c MigrationConfig) validate() error {
+	// Negated comparisons so NaN fails loudly here instead of silently
+	// disabling every sweep (NaN never compares <= the clock).
+	if !(c.Interval > 0) {
+		return fmt.Errorf("fleet: migration interval must be positive, got %g", c.Interval)
+	}
+	if !(c.Hysteresis >= 0) || !(c.Cooldown >= 0) || c.MaxMovesPerSweep < 0 || c.MaxMovesPerJob < 0 {
+		return fmt.Errorf("fleet: migration config fields must be non-negative: %+v", c)
+	}
+	return nil
+}
+
+// HysteresisMigration returns the recommended production policy for a
+// sweep interval: a 0.25 margin on the pipeline's normalized score scale,
+// a cooldown of two sweep intervals, at most three moves per job, and the
+// start-now gate — only rescue a stranded job onto capacity that can run
+// it immediately.
+func HysteresisMigration(interval float64) MigrationConfig {
+	return MigrationConfig{
+		Interval:        interval,
+		Hysteresis:      0.25,
+		Cooldown:        2 * interval,
+		MaxMovesPerJob:  3,
+		RequireStartNow: true,
+	}
+}
+
+// AlwaysRebalance returns the greedy ablation: move on any strict score
+// improvement, every sweep, with no cooldown or cap. It exists to be
+// measured against — the fleet-migration experiment shows where greed
+// pays and where hysteresis wins.
+func AlwaysRebalance(interval float64) MigrationConfig {
+	return MigrationConfig{Interval: interval}
+}
+
+// migInfo is the controller's per-job move history.
+type migInfo struct {
+	moves    int
+	lastMove float64 // global clock of the most recent move
+}
+
+// migrator is the run-scoped state of the migration controller: the sweep
+// schedule, per-job histories, and scratch buffers. One is built per
+// Fleet.Run, so a Fleet can be reused across runs.
+type migrator struct {
+	cfg       MigrationConfig
+	router    ScoredRouter
+	nextSweep float64
+	info      map[*job.Job]*migInfo
+	moves     int
+	scores    []float64
+	snap      [][]*job.Job
+}
+
+func newMigrator(cfg MigrationConfig, router ScoredRouter, firstArrival float64) *migrator {
+	return &migrator{
+		cfg:       cfg,
+		router:    router,
+		nextSweep: firstArrival + cfg.Interval,
+		info:      map[*job.Job]*migInfo{},
+	}
+}
+
+// sweepUntil runs every sweep due at or before global time t, advancing
+// all members to each sweep instant first.
+func (f *Fleet) sweepUntil(mig *migrator, t float64) error {
+	for mig.nextSweep <= t {
+		for _, m := range f.members {
+			if err := m.syncTo(mig.nextSweep); err != nil {
+				return err
+			}
+		}
+		if err := f.sweep(mig, mig.nextSweep); err != nil {
+			return err
+		}
+		mig.nextSweep += mig.cfg.Interval
+	}
+	return nil
+}
+
+// sweep re-places the fleet's pending backlog at the current instant.
+// Every member's scheduler-visible queue is snapshotted before anything
+// moves, so a job the sweep itself migrates is never re-evaluated at its
+// destination within the same sweep.
+func (f *Fleet) sweep(mig *migrator, now float64) error {
+	snap := mig.snap[:0]
+	for i, m := range f.members {
+		if i < len(mig.snap) {
+			snap = append(snap, append(mig.snap[i][:0], m.sim.Visible()...))
+		} else {
+			snap = append(snap, append([]*job.Job(nil), m.sim.Visible()...))
+		}
+	}
+	mig.snap = snap
+
+	sweepMoves := 0
+	for si, m := range f.members {
+		for _, j := range snap[si] {
+			if mig.cfg.MaxMovesPerSweep > 0 && sweepMoves >= mig.cfg.MaxMovesPerSweep {
+				return nil
+			}
+			// A job an earlier move's pump started, or the one the local
+			// policy has committed to (it holds the backfill reservation),
+			// is not re-placeable.
+			if j.Started() || j == m.committed {
+				continue
+			}
+			if inf := mig.info[j]; inf != nil {
+				if mig.cfg.MaxMovesPerJob > 0 && inf.moves >= mig.cfg.MaxMovesPerJob {
+					continue
+				}
+				if mig.cfg.Cooldown > 0 && now-inf.lastMove < mig.cfg.Cooldown {
+					continue
+				}
+			}
+			moved, err := f.tryMove(mig, si, j, now)
+			if err != nil {
+				return err
+			}
+			if moved {
+				sweepMoves++
+			}
+		}
+	}
+	return nil
+}
+
+// tryMove withdraws j from member src, re-scores it across the fleet, and
+// either re-places it (margin over the incumbent exceeds the hysteresis)
+// or resubmits it in place. Withdrawing before scoring keeps the job's own
+// footprint from biasing its current cluster's backlog signals.
+func (f *Fleet) tryMove(mig *migrator, src int, j *job.Job, now float64) (bool, error) {
+	if _, err := f.members[src].sim.Withdraw(j.ID); err != nil {
+		return false, fmt.Errorf("fleet: migrate from %s: %w", f.members[src].name, err)
+	}
+	cands := f.candidates()
+	if cap(mig.scores) < len(cands) {
+		mig.scores = make([]float64, len(cands))
+	}
+	scores := mig.scores[:len(cands)]
+	best := mig.router.PlaceScored(j, cands, scores)
+
+	dst := src
+	if best >= 0 && best != src {
+		// An incumbent the filters now reject (NaN score) always loses.
+		if cur := scores[src]; math.IsNaN(cur) || scores[best]-cur > mig.cfg.Hysteresis {
+			if !mig.cfg.RequireStartNow ||
+				(cands[best].Pending == 0 && f.members[best].sim.CanStartNow(j)) {
+				dst = best
+			}
+		}
+	}
+	m := f.members[dst]
+	if err := m.sim.Submit(j); err != nil {
+		return false, fmt.Errorf("fleet: migrate to %s: %w", m.name, err)
+	}
+	if dst == src {
+		// Not worth moving: the resubmission restored the exact
+		// pre-withdraw state (pinned by sim's withdraw/resubmit parity
+		// test), so the probe is invisible to results.
+		return false, nil
+	}
+	inf := mig.info[j]
+	if inf == nil {
+		inf = &migInfo{}
+		mig.info[j] = inf
+	}
+	inf.moves++
+	inf.lastMove = now
+	mig.moves++
+	f.members[src].movedOut++
+	m.movedIn++
+	return true, m.pump()
+}
+
+// drainMigrating runs every member to completion after the last arrival,
+// keeping the fleet time-synchronized so re-placement sweeps continue
+// while backlogs drain — the window where stranded jobs gain the most.
+func (f *Fleet) drainMigrating(mig *migrator) error {
+	for {
+		next := 0.0
+		any := false
+		for _, m := range f.members {
+			if t, ok := m.sim.NextEventTime(); ok && (!any || t < next) {
+				next, any = t, true
+			}
+		}
+		if !any {
+			for _, m := range f.members {
+				if err := m.pump(); err != nil {
+					return err
+				}
+				if m.committed != nil {
+					return fmt.Errorf("fleet: %s: job %d (%d procs) can never start",
+						m.name, m.committed.ID, m.committed.RequestedProcs)
+				}
+			}
+			return nil
+		}
+		if mig.nextSweep <= next {
+			if err := f.sweepUntil(mig, mig.nextSweep); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, m := range f.members {
+			if err := m.syncTo(next); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// fillMigrationMetrics writes the controller's per-job histories into each
+// member's metrics.Result: a migrated job is accounted on the cluster it
+// finally ran on, with its original arrival time (so job-averaged metrics
+// stay comparable across migration policies).
+func (mig *migrator) fillMigrationMetrics(results []metrics.Result) {
+	for i := range results {
+		for _, j := range results[i].Jobs {
+			inf := mig.info[j]
+			if inf == nil || inf.moves == 0 {
+				continue
+			}
+			results[i].MigratedJobs = append(results[i].MigratedJobs, j)
+			results[i].Moves += inf.moves
+			results[i].MigrationDelaySum += inf.lastMove - j.SubmitTime
+		}
+	}
+}

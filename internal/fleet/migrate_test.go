@@ -1,0 +1,272 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+	"rlsched/internal/sched"
+	"rlsched/internal/sim"
+)
+
+// TestEnableMigrationValidation covers the configuration guards.
+func TestEnableMigrationValidation(t *testing.T) {
+	f, err := New(heteroMembers(), LeastLoadedPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EnableMigration(MigrationConfig{}); err == nil {
+		t.Fatal("zero interval must be rejected")
+	}
+	if err := f.EnableMigration(MigrationConfig{Interval: 10, Hysteresis: -1}); err == nil {
+		t.Fatal("negative hysteresis must be rejected")
+	}
+	// NaN would silently disable every sweep (it never compares <= the
+	// clock) or every move; both must fail loudly instead.
+	if err := f.EnableMigration(MigrationConfig{Interval: math.NaN()}); err == nil {
+		t.Fatal("NaN interval must be rejected")
+	}
+	if err := f.EnableMigration(MigrationConfig{Interval: 10, Hysteresis: math.NaN()}); err == nil {
+		t.Fatal("NaN hysteresis must be rejected")
+	}
+	if err := f.EnableMigration(HysteresisMigration(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := New(heteroMembers(), NewRandom(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnableMigration(HysteresisMigration(100)); err == nil {
+		t.Fatal("an unscored router cannot drive migration")
+	}
+}
+
+// TestMigrationParityWhenIneffective pins the acceptance guarantee: a
+// migration controller that never finds a worthwhile move (the hysteresis
+// margin exceeds the pipeline's whole score range) must reproduce the
+// migration-disabled run byte-for-byte — same assignments, same per-job
+// start times, same fleet metrics — even though every sweep withdraws and
+// resubmits every pending job.
+func TestMigrationParityWhenIneffective(t *testing.T) {
+	stream := lublinStream(t, 250, 13)
+
+	base, err := New(heteroMembers(), LeastLoadedPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseStream := cloneStream(stream)
+	baseRes, err := base.Run(baseStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mig, err := New(heteroMembers(), LeastLoadedPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Margin larger than any normalized pipeline score: probes everywhere,
+	// moves nowhere. A short interval maximizes the number of probes.
+	if err := mig.EnableMigration(MigrationConfig{Interval: 50, Hysteresis: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	migStream := cloneStream(stream)
+	migRes, err := mig.Run(migStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range baseRes.Assignments {
+		if baseRes.Assignments[i] != migRes.Assignments[i] {
+			t.Fatalf("job %d assigned to %d without migration, %d with ineffective migration",
+				i, baseRes.Assignments[i], migRes.Assignments[i])
+		}
+	}
+	for i := range baseStream {
+		if baseStream[i].StartTime != migStream[i].StartTime {
+			t.Fatalf("job %d starts at %g without migration, %g with ineffective migration",
+				i, baseStream[i].StartTime, migStream[i].StartTime)
+		}
+	}
+	for _, k := range []metrics.Kind{metrics.BoundedSlowdown, metrics.WaitTime} {
+		a, b := metrics.Value(k, baseRes.Fleet), metrics.Value(k, migRes.Fleet)
+		if a != b {
+			t.Fatalf("%v: %g without migration, %g with ineffective migration", k, a, b)
+		}
+	}
+	// Utilization integrates busy time; sweeps split the integration
+	// interval at sweep instants, so the non-associative float sum may
+	// differ in the last ulp even though the schedule is identical.
+	a, b := baseRes.Fleet.Utilization, migRes.Fleet.Utilization
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("util: %g without migration, %g with ineffective migration", a, b)
+	}
+	if migRes.Fleet.Moves != 0 || len(migRes.Fleet.MigratedJobs) != 0 {
+		t.Fatalf("ineffective migration recorded %d moves, %d migrated jobs",
+			migRes.Fleet.Moves, len(migRes.Fleet.MigratedJobs))
+	}
+}
+
+// strandedScenario builds the textbook case for re-placement: cluster A's
+// queue hides work the placement-time signals underestimate (tiny
+// requested times, huge actual runtimes), so a job routed to A by
+// least-loaded is stranded behind hours of surprise work while cluster B
+// drains. Returns the stream; the stranded job is the last one.
+func strandedScenario() []*job.Job {
+	mk := func(id int, submit, run float64, procs int, req float64) *job.Job {
+		return job.New(id, submit, run, procs, req)
+	}
+	return []*job.Job{
+		// Seed both clusters with one full-width running job each.
+		mk(1, 0, 100, 64, 100), // → A (tie breaks low)
+		mk(2, 0, 500, 64, 500), // → B
+		// Queue "cheap-looking" work on A: 10s requested, 4000s actual.
+		mk(3, 1, 4000, 64, 10), // → A (B carries 500s)
+		mk(4, 2, 4000, 64, 10), // → A still looks cheaper
+		// The victim: routed to A on the same stale signals, then stuck
+		// behind ~8000s of surprise work unless migrated to B, which is
+		// idle from t=500.
+		mk(5, 3, 60, 32, 60),
+	}
+}
+
+func strandedMembers() []MemberConfig {
+	return []MemberConfig{
+		{Name: "A", Sim: sim.Config{Processors: 64, MaxObserve: 32}, Scheduler: sched.FCFS()},
+		{Name: "B", Sim: sim.Config{Processors: 64, MaxObserve: 32}, Scheduler: sched.FCFS()},
+	}
+}
+
+// TestMigrationRescuesStrandedJob: with migration off the victim waits for
+// A's backlog; with hysteresis migration the first post-drain sweep moves
+// it to the idle cluster B and it starts immediately. Fleet-wide bounded
+// slowdown must strictly improve and every migration counter must agree.
+func TestMigrationRescuesStrandedJob(t *testing.T) {
+	run := func(enable bool) (*Result, []*job.Job) {
+		f, err := New(strandedMembers(), LeastLoadedPipeline())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enable {
+			if err := f.EnableMigration(HysteresisMigration(200)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stream := strandedScenario()
+		res, err := f.Run(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, stream
+	}
+
+	off, offStream := run(false)
+	on, onStream := run(true)
+
+	victimOff, victimOn := offStream[4], onStream[4]
+	if victimOff.StartTime < 4000 {
+		t.Fatalf("scenario broken: victim started at %g without migration (expected to be stranded)",
+			victimOff.StartTime)
+	}
+	if victimOn.StartTime >= victimOff.StartTime {
+		t.Fatalf("migration did not rescue the victim: start %g vs %g",
+			victimOn.StartTime, victimOff.StartTime)
+	}
+	offBsld := metrics.Value(metrics.BoundedSlowdown, off.Fleet)
+	onBsld := metrics.Value(metrics.BoundedSlowdown, on.Fleet)
+	if onBsld >= offBsld {
+		t.Fatalf("fleet bsld %g with migration, %g without: no improvement", onBsld, offBsld)
+	}
+
+	if on.Fleet.Moves < 1 {
+		t.Fatal("no moves recorded")
+	}
+	found := false
+	for _, j := range on.Fleet.MigratedJobs {
+		if j.ID == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("victim missing from MigratedJobs: %v", on.Fleet.MigratedJobs)
+	}
+	if d := metrics.MeanMigrationDelay(on.Fleet); d <= 0 {
+		t.Fatalf("mean migration delay = %g, want > 0", d)
+	}
+	migBsld, natBsld := metrics.MigrationSplit(metrics.BoundedSlowdown, on.Fleet)
+	if migBsld <= 0 || natBsld <= 0 {
+		t.Fatalf("migration split = %g/%g, want both positive", migBsld, natBsld)
+	}
+	in, out := 0, 0
+	for _, c := range on.Clusters {
+		in += c.MovedIn
+		out += c.MovedOut
+	}
+	if in != out || in != on.Fleet.Moves {
+		t.Fatalf("move accounting disagrees: in=%d out=%d fleet=%d", in, out, on.Fleet.Moves)
+	}
+	// The victim kept its original arrival time: its wait is measured from
+	// submission, not from the migration instant.
+	if w := victimOn.Wait(); w != victimOn.StartTime-victimOn.SubmitTime {
+		t.Fatalf("victim wait %g not measured from original submission", w)
+	}
+}
+
+// TestMigrationBudgetAndCooldown: a per-sweep budget of one move must
+// serialize the rescue of two stranded jobs across sweeps, and a per-job
+// lifetime cap of zero moves... is expressed as MaxMovesPerJob=1 with an
+// aggressive controller never exceeding one move per job.
+func TestMigrationBudgetAndCooldown(t *testing.T) {
+	mk := func(id int, submit, run float64, procs int, req float64) *job.Job {
+		return job.New(id, submit, run, procs, req)
+	}
+	stream := []*job.Job{
+		mk(1, 0, 100, 64, 100),
+		mk(2, 0, 500, 64, 500),
+		mk(3, 1, 4000, 64, 10),
+		mk(4, 2, 4000, 64, 10),
+		mk(5, 3, 60, 32, 60), // stranded victim #1
+		mk(6, 4, 60, 32, 60), // stranded victim #2
+	}
+	f, err := New(strandedMembers(), LeastLoadedPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MigrationConfig{
+		Interval:         200,
+		Hysteresis:       0.25,
+		MaxMovesPerSweep: 1,
+		MaxMovesPerJob:   1,
+	}
+	if err := f.EnableMigration(cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fleet.Moves == 0 {
+		t.Fatal("budgeted migration still must move the stranded jobs")
+	}
+	// Lifetime cap: no job may account for more than one move.
+	perJob := map[int]int{}
+	for _, c := range res.Clusters {
+		if c.Result.Moves > 0 && len(c.Result.MigratedJobs) == 0 {
+			t.Fatalf("cluster %s reports %d moves but no migrated jobs", c.Name, c.Result.Moves)
+		}
+	}
+	if res.Fleet.Moves > len(res.Fleet.MigratedJobs) {
+		t.Fatalf("MaxMovesPerJob=1 violated: %d moves across %d jobs",
+			res.Fleet.Moves, len(res.Fleet.MigratedJobs))
+	}
+	for _, j := range res.Fleet.MigratedJobs {
+		perJob[j.ID]++
+		if perJob[j.ID] > 1 {
+			t.Fatalf("job %d appears twice in MigratedJobs", j.ID)
+		}
+	}
+	if math.IsNaN(metrics.Value(metrics.BoundedSlowdown, res.Fleet)) {
+		t.Fatal("bsld must stay finite")
+	}
+}

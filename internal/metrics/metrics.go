@@ -74,6 +74,24 @@ func (k Kind) Maximize() bool { return k == Utilization }
 type Result struct {
 	Jobs        []*job.Job
 	Utilization float64
+
+	// Migration accounting, filled by fleet runs with cross-cluster
+	// migration enabled (zero-valued everywhere else). Migrated jobs keep
+	// their original arrival time, so every job-averaged metric above
+	// measures waits from true submission wherever the job finally ran —
+	// migration can only look good by actually starting jobs earlier.
+
+	// MigratedJobs lists the jobs that were re-placed at least once; a
+	// subset of Jobs (each migrated job is counted on the cluster it
+	// finally ran on).
+	MigratedJobs []*job.Job
+	// Moves is the total number of migration moves; at least
+	// len(MigratedJobs), since a job may move more than once.
+	Moves int
+	// MigrationDelaySum is Σ over MigratedJobs of (last re-placement
+	// instant − submit time): how long each migrated job had been queued
+	// when the controller finally moved it.
+	MigrationDelaySum float64
 }
 
 // Value computes the metric over the result. Unstarted jobs are ignored.
@@ -151,11 +169,47 @@ func Merge(rs []Result, procs []int) Result {
 		merged.Jobs = append(merged.Jobs, r.Jobs...)
 		weighted += r.Utilization * float64(procs[i])
 		totalProcs += procs[i]
+		merged.MigratedJobs = append(merged.MigratedJobs, r.MigratedJobs...)
+		merged.Moves += r.Moves
+		merged.MigrationDelaySum += r.MigrationDelaySum
 	}
 	if totalProcs > 0 {
 		merged.Utilization = weighted / float64(totalProcs)
 	}
 	return merged
+}
+
+// MigrationSplit computes the metric separately over the migrated and the
+// natively placed jobs of a result — the "did re-placement actually help
+// the jobs it touched" view. Membership is by job identity against
+// MigratedJobs; for Utilization (a cluster property, not a job property)
+// both halves report the result's overall utilization.
+func MigrationSplit(k Kind, r Result) (migrated, native float64) {
+	isMigrated := make(map[*job.Job]bool, len(r.MigratedJobs))
+	for _, j := range r.MigratedJobs {
+		isMigrated[j] = true
+	}
+	var mjobs, njobs []*job.Job
+	for _, j := range r.Jobs {
+		if isMigrated[j] {
+			mjobs = append(mjobs, j)
+		} else {
+			njobs = append(njobs, j)
+		}
+	}
+	m := Result{Jobs: mjobs, Utilization: r.Utilization}
+	n := Result{Jobs: njobs, Utilization: r.Utilization}
+	return Value(k, m), Value(k, n)
+}
+
+// MeanMigrationDelay returns the average time a migrated job had been
+// queued when it was last re-placed (0 when nothing migrated) — the
+// per-job migration delay aggregated over the result.
+func MeanMigrationDelay(r Result) float64 {
+	if len(r.MigratedJobs) == 0 {
+		return 0
+	}
+	return r.MigrationDelaySum / float64(len(r.MigratedJobs))
 }
 
 // Reward converts the metric of a finished sequence into the scalar reward

@@ -130,3 +130,84 @@ func TestMergeResults(t *testing.T) {
 	}()
 	Merge([]Result{a}, []int{1, 2})
 }
+
+// TestMergeEdgeCases pins the degenerate Merge inputs: empty slices,
+// single results (identity), zero-processor members, and both directions
+// of the length-mismatch panic.
+func TestMergeEdgeCases(t *testing.T) {
+	// Empty (non-nil) input: a zero result, no panic.
+	if got := Merge([]Result{}, []int{}); got.Utilization != 0 || len(got.Jobs) != 0 {
+		t.Fatalf("empty-slice merge = %+v", got)
+	}
+
+	// Single result: Merge is the identity on every field.
+	solo := Result{
+		Jobs:              []*job.Job{startedJob(1, 0, 10, 10, 0)},
+		Utilization:       0.4,
+		MigratedJobs:      []*job.Job{startedJob(2, 0, 5, 5, 0)},
+		Moves:             3,
+		MigrationDelaySum: 17,
+	}
+	m := Merge([]Result{solo}, []int{128})
+	if len(m.Jobs) != 1 || m.Utilization != 0.4 ||
+		len(m.MigratedJobs) != 1 || m.Moves != 3 || m.MigrationDelaySum != 17 {
+		t.Fatalf("single merge is not the identity: %+v", m)
+	}
+
+	// Zero total processors: utilization must stay 0, not divide by zero.
+	z := Merge([]Result{{Utilization: 0.9}}, []int{0})
+	if z.Utilization != 0 {
+		t.Fatalf("zero-proc merge utilization = %g, want 0", z.Utilization)
+	}
+
+	// Mismatched proc counts panic in both directions.
+	for _, procs := range [][]int{{1, 2}, nil} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Merge with %d results, %d procs must panic", 1, len(procs))
+				}
+			}()
+			Merge([]Result{solo}, procs)
+		}()
+	}
+}
+
+// TestMergeMigrationRoundTrip: migration fields must survive a merge —
+// job sets concatenate, counters sum — and the split/delay helpers must
+// read the merged result correctly.
+func TestMergeMigrationRoundTrip(t *testing.T) {
+	mig := startedJob(1, 0, 300, 100, 0)  // wait 300 → bsld 4
+	nat := startedJob(2, 0, 100, 100, 0)  // wait 100 → bsld 2
+	nat2 := startedJob(3, 0, 300, 100, 1) // wait 300 → bsld 4
+	a := Result{
+		Jobs:              []*job.Job{mig, nat},
+		Utilization:       0.5,
+		MigratedJobs:      []*job.Job{mig},
+		Moves:             2,
+		MigrationDelaySum: 120,
+	}
+	b := Result{Jobs: []*job.Job{nat2}, Utilization: 0.5}
+	m := Merge([]Result{a, b}, []int{100, 100})
+	if m.Moves != 2 || len(m.MigratedJobs) != 1 || m.MigrationDelaySum != 120 {
+		t.Fatalf("migration fields lost in merge: %+v", m)
+	}
+	gotMig, gotNat := MigrationSplit(BoundedSlowdown, m)
+	if gotMig != 4 {
+		t.Errorf("migrated bsld = %g, want 4", gotMig)
+	}
+	if gotNat != 3 { // (2 + 4) / 2
+		t.Errorf("native bsld = %g, want 3", gotNat)
+	}
+	if d := MeanMigrationDelay(m); d != 120 {
+		t.Errorf("mean migration delay = %g, want 120", d)
+	}
+	if d := MeanMigrationDelay(b); d != 0 {
+		t.Errorf("delay without migrations = %g, want 0", d)
+	}
+	// Utilization is a cluster property: both halves of the split carry it.
+	u1, u2 := MigrationSplit(Utilization, m)
+	if u1 != m.Utilization || u2 != m.Utilization {
+		t.Errorf("utilization split = %g/%g, want %g both", u1, u2, m.Utilization)
+	}
+}

@@ -49,11 +49,26 @@ type shard struct {
 
 // newShards builds the shard set and the placement router.
 func (s *Server) initFleet(cfg Config) error {
+	s.migrateMargin = -1
 	if len(cfg.Shards) == 0 {
 		if cfg.PlaceRouter != "" {
 			return fmt.Errorf("serve: place router %q needs fleet shards", cfg.PlaceRouter)
 		}
+		if cfg.Migrate {
+			return fmt.Errorf("serve: -migrate needs fleet shards")
+		}
 		return nil
+	}
+	if cfg.Migrate {
+		// Negated comparison so NaN is rejected too (a NaN margin would
+		// silently answer migrate:false forever). 0 is meaningful — no
+		// hysteresis, any strict improvement clears the margin — though
+		// the drained-destination gate still applies; the 0.25 default
+		// lives in the rlservd flag, not here.
+		if !(cfg.MigrateMargin >= 0) {
+			return fmt.Errorf("serve: migrate margin must be non-negative, got %g", cfg.MigrateMargin)
+		}
+		s.migrateMargin = cfg.MigrateMargin
 	}
 	names := make([]string, 0, len(cfg.Shards))
 	for i, sc := range cfg.Shards {
@@ -122,6 +137,21 @@ func (s *Server) shardByName(name string) (int, *shard) {
 	return -1, nil
 }
 
+// readLimitedBody reads a request body up to the configured cap, writing
+// the 4xx itself and reporting ok=false on failure.
+func (s *Server) readLimitedBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	if int64(len(body)) > s.maxBody {
+		s.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: body over %d bytes", s.maxBody))
+		return nil, false
+	}
+	return body, true
+}
+
 // shardEngineScorer adapts the fleet Scorer interface onto the daemon's
 // per-cluster engines: candidate i is scored by shard i's currently
 // served engine. The score is the log-softmax of the new job's engine
@@ -184,13 +214,8 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	if int64(len(body)) > s.maxBody {
-		s.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: body over %d bytes", s.maxBody))
+	body, ok := s.readLimitedBody(w, r)
+	if !ok {
 		return
 	}
 	var req placeRequest
@@ -231,26 +256,135 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	resp = strconv.AppendInt(resp, int64(cands[pick].Index), 10)
 	resp = append(resp, `,"router":`...)
 	resp = strconv.AppendQuote(resp, s.placer.Name())
-	resp = append(resp, `,"scores":{`...)
+	resp = append(resp, `,"scores":`...)
+	resp = appendScoresJSON(resp, cands, scores)
+	resp = append(resp, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp)
+
+	s.metrics.CountPlacement(cands[pick].Index)
+	s.metrics.PlaceLatency.ObserveDuration(time.Since(start))
+}
+
+// appendScoresJSON appends the {"name":score,...} object covering every
+// unfiltered (non-NaN) candidate — the shared tail of the /place and
+// /migrate responses.
+func appendScoresJSON(buf []byte, cands []*fleet.Candidate, scores []float64) []byte {
+	buf = append(buf, '{')
 	first := true
 	for i, c := range cands {
 		if scores[i] != scores[i] { // NaN: filtered out
 			continue
 		}
 		if !first {
-			resp = append(resp, ',')
+			buf = append(buf, ',')
 		}
 		first = false
-		resp = strconv.AppendQuote(resp, c.Name)
-		resp = append(resp, ':')
-		resp = strconv.AppendFloat(resp, scores[i], 'g', 6, 64)
+		buf = strconv.AppendQuote(buf, c.Name)
+		buf = append(buf, ':')
+		buf = strconv.AppendFloat(buf, scores[i], 'g', 6, 64)
 	}
-	resp = append(resp, '}', '}', '\n')
+	return append(buf, '}')
+}
+
+// migrateRequest is the /migrate body: the queued job, the name of the
+// cluster currently holding it, and every cluster's state. Like the
+// offline migration controller, the caller reports states as if the job
+// were already withdrawn — its current cluster's jobs list must not
+// include it, so its own footprint cannot bias the incumbent's score.
+type migrateRequest struct {
+	Job      wireJob        `json:"job"`
+	From     string         `json:"from"`
+	Clusters []placeCluster `json:"clusters"`
+}
+
+// handleMigrate is the serving twin of the fleet migration controller's
+// per-job decision: re-score the job through the placement pipeline and
+// recommend a move only when the best alternative beats the incumbent by
+// the configured hysteresis margin AND is drained enough to start the job
+// immediately (free capacity, empty queue) — the same
+// stranded-job-rescue gate fleet.HysteresisMigration applies. The daemon
+// is stateless: it recommends; the caller moves.
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST only"))
+		return
+	}
+	if len(s.shards) == 0 || s.migrateMargin < 0 {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: migration endpoint not enabled (fleet mode with -migrate)"))
+		return
+	}
+	body, ok := s.readLimitedBody(w, r)
+	if !ok {
+		return
+	}
+	var req migrateRequest
+	req.Job.UserID = -1
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: bad migrate request: %w", err))
+		return
+	}
+	if req.Job.ReqProcs <= 0 || req.Job.ReqTime <= 0 {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("serve: job needs positive requested_time and requested_procs"))
+		return
+	}
+	cands, err := s.placeCandidates(req.Clusters)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	from := -1
+	for i, c := range cands {
+		if c.Name == req.From {
+			from = i
+		}
+	}
+	if from < 0 {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("serve: current cluster %q missing from posted states", req.From))
+		return
+	}
+
+	jv := req.Job.toJob()
+	j := &jv
+	scores := make([]float64, len(cands))
+	best := s.placer.PlaceScored(j, cands, scores)
+	move := false
+	dst := from
+	if best >= 0 && best != from {
+		cur := scores[from]
+		drained := cands[best].Pending == 0 &&
+			cands[best].View.FreeProcs >= j.RequestedProcs
+		if drained && (cur != cur || scores[best]-cur > s.migrateMargin) {
+			move = true
+			dst = best
+		}
+	}
+
+	resp := make([]byte, 0, 256)
+	resp = append(resp, `{"migrate":`...)
+	resp = strconv.AppendBool(resp, move)
+	resp = append(resp, `,"cluster":`...)
+	resp = strconv.AppendQuote(resp, cands[dst].Name)
+	resp = append(resp, `,"from":`...)
+	resp = strconv.AppendQuote(resp, cands[from].Name)
+	if cur, bst := scores[from], scores[dst]; cur == cur && bst == bst {
+		resp = append(resp, `,"margin":`...)
+		resp = strconv.AppendFloat(resp, bst-cur, 'g', 6, 64)
+	}
+	resp = append(resp, `,"router":`...)
+	resp = strconv.AppendQuote(resp, s.placer.Name())
+	resp = append(resp, `,"scores":`...)
+	resp = appendScoresJSON(resp, cands, scores)
+	resp = append(resp, '}', '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(resp)
 
-	s.metrics.CountPlacement(cands[pick].Index)
-	s.metrics.PlaceLatency.ObserveDuration(time.Since(start))
+	s.metrics.MigrateChecksTotal.Add(1)
+	if move {
+		s.metrics.CountMigration(cands[dst].Index)
+	}
 }
 
 // placeCandidates turns the posted cluster states into fleet candidates,

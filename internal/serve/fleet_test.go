@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -179,6 +180,166 @@ func TestPlaceValidation(t *testing.T) {
 	code, _ := postJSON(t, plain.URL+"/place", placeBody(t, `[0,60,4]`, ok))
 	if code != http.StatusNotFound {
 		t.Errorf("/place outside fleet mode = %d, want 404", code)
+	}
+}
+
+// newMigrateServer is newFleetServer with the /migrate endpoint enabled.
+func newMigrateServer(t *testing.T, margin float64) (*Server, *httptest.Server) {
+	t.Helper()
+	return newTestServer(t, Config{
+		BatchWindow:   time.Microsecond,
+		PlaceRouter:   "least-loaded",
+		Migrate:       true,
+		MigrateMargin: margin,
+		Shards: []ShardConfig{
+			{Name: "large", Procs: 256, PolicyName: "SJF"},
+			{Name: "mid", Procs: 128, PolicyName: "SJF"},
+			{Name: "small", Procs: 64, PolicyName: "F1"},
+		},
+	})
+}
+
+func migrateBody(t *testing.T, jobRow, from string, clusters ...string) []byte {
+	t.Helper()
+	return []byte(fmt.Sprintf(`{"job":%s,"from":%q,"clusters":[%s]}`,
+		jobRow, from, strings.Join(clusters, ",")))
+}
+
+type migrateResp struct {
+	Migrate bool               `json:"migrate"`
+	Cluster string             `json:"cluster"`
+	From    string             `json:"from"`
+	Margin  float64            `json:"margin"`
+	Router  string             `json:"router"`
+	Scores  map[string]float64 `json:"scores"`
+}
+
+// TestMigrateEndpoint: a stranded job on a loaded cluster is recommended
+// onto a drained one; a fresh destination that is merely "a bit lighter"
+// (or not drained) is not worth the disruption; counters track both.
+func TestMigrateEndpoint(t *testing.T) {
+	srv, ts := newMigrateServer(t, 0.25)
+
+	// large is buried, small is idle: clear rescue.
+	rescue := migrateBody(t, `[-600,600,32]`, "large",
+		clusterState("large", 0, 256, `[0,30000,128],[0,30000,128]`),
+		clusterState("mid", 0, 128, `[0,30000,64]`),
+		clusterState("small", 64, 64, ""))
+	code, out := postJSON(t, ts.URL+"/migrate", rescue)
+	if code != http.StatusOK {
+		t.Fatalf("migrate: %d %s", code, out)
+	}
+	var resp migrateResp
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatalf("%v in %s", err, out)
+	}
+	if !resp.Migrate || resp.Cluster != "small" || resp.From != "large" {
+		t.Fatalf("stranded job not rescued: %s", out)
+	}
+	if resp.Margin <= 0.25 {
+		t.Fatalf("rescue margin %g must clear the hysteresis", resp.Margin)
+	}
+	if resp.Router != "least-loaded" {
+		t.Fatalf("router = %q, want least-loaded", resp.Router)
+	}
+
+	// The best alternative is busy too (not drained): stay put even
+	// though its score is higher.
+	stay := migrateBody(t, `[-600,600,32]`, "large",
+		clusterState("large", 0, 256, `[0,30000,128],[0,30000,128]`),
+		clusterState("mid", 64, 128, `[0,30000,64]`),
+		clusterState("small", 0, 64, `[0,9000,64]`))
+	code, out = postJSON(t, ts.URL+"/migrate", stay)
+	if code != http.StatusOK {
+		t.Fatalf("migrate: %d %s", code, out)
+	}
+	json.Unmarshal(out, &resp)
+	if resp.Migrate {
+		t.Fatalf("moved onto an undrained cluster: %s", out)
+	}
+	if resp.Cluster != "large" {
+		t.Fatalf("stay-put answer names %q, want the incumbent", resp.Cluster)
+	}
+
+	if got := srv.Metrics().MigrateChecksTotal.Load(); got != 2 {
+		t.Fatalf("migrate_checks_total = %d, want 2", got)
+	}
+	counts := srv.Metrics().MigrationCounts()
+	if counts[0] != 0 || counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("per-cluster migration counts = %v, want [0 0 1]", counts)
+	}
+
+	// Counters surface in /metrics.
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	raw, _ := io.ReadAll(r.Body)
+	for _, want := range []string{
+		"rlserv_migrate_checks_total 2",
+		`rlserv_migrations_total{cluster="small"} 1`,
+		`rlserv_migrations_total{cluster="large"} 0`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestMigrateValidation: malformed migrate requests 4xx; the endpoint is
+// 404 without -migrate and outside fleet mode; -migrate without shards
+// fails at startup.
+func TestMigrateValidation(t *testing.T) {
+	_, ts := newMigrateServer(t, 0)
+	ok := clusterState("large", 256, 256, "")
+	bad := []struct {
+		body []byte
+		code int
+	}{
+		{[]byte(`not json`), 400},
+		{migrateBody(t, `[0,60,4]`, "large"), 400},                                   // no clusters
+		{migrateBody(t, `[0,0,4]`, "large", ok), 400},                                // zero runtime
+		{migrateBody(t, `[0,60,4]`, "nope", ok), 400},                                // unknown incumbent
+		{migrateBody(t, `[0,60,4]`, "mid", ok), 400},                                 // incumbent state missing
+		{migrateBody(t, `[0,60,4]`, "large", clusterState("bad", 1, 1, "")), 400},    // unknown cluster
+		{migrateBody(t, `[0,60,4]`, "large", clusterState("large", 9, 99, "")), 400}, // procs mismatch
+	}
+	for i, tc := range bad {
+		code, out := postJSON(t, ts.URL+"/migrate", tc.body)
+		if code != tc.code {
+			t.Errorf("bad migrate %d: got %d (%s), want %d", i, code, out, tc.code)
+		}
+	}
+	r, err := http.Get(ts.URL + "/migrate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /migrate = %d, want 405", r.StatusCode)
+	}
+
+	// Fleet mode without -migrate: 404.
+	_, plain := newFleetServer(t, "")
+	code, _ := postJSON(t, plain.URL+"/migrate", migrateBody(t, `[0,60,4]`, "large", ok))
+	if code != http.StatusNotFound {
+		t.Errorf("/migrate without -migrate = %d, want 404", code)
+	}
+
+	// -migrate needs shards, and the margin must be sane (a NaN margin
+	// would answer migrate:false forever).
+	for _, cfg := range []Config{
+		{PolicyName: "SJF", Migrate: true},
+		{Migrate: true, MigrateMargin: -0.5,
+			Shards: []ShardConfig{{Name: "a", Procs: 8, PolicyName: "SJF"}}},
+		{Migrate: true, MigrateMargin: math.NaN(),
+			Shards: []ShardConfig{{Name: "a", Procs: 8, PolicyName: "SJF"}}},
+	} {
+		if srv, err := NewServer(cfg); err == nil {
+			srv.Close()
+			t.Errorf("config %+v must fail at startup", cfg)
+		}
 	}
 }
 

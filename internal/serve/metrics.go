@@ -28,13 +28,21 @@ type Metrics struct {
 	PlaceLatency Histogram
 	placeNames   []string
 	placeCounts  []atomic.Uint64
+
+	// Migration instrumentation (fleet mode with -migrate): evaluations
+	// of the /migrate endpoint and, per destination shard, how many of
+	// them recommended a move.
+	MigrateChecksTotal atomic.Uint64
+	migrateCounts      []atomic.Uint64
 }
 
-// RegisterPlaceClusters installs one placement counter per fleet shard.
-// Call once at startup, before the handler serves.
+// RegisterPlaceClusters installs one placement counter and one migration
+// counter per fleet shard. Call once at startup, before the handler
+// serves.
 func (m *Metrics) RegisterPlaceClusters(names []string) {
 	m.placeNames = append([]string(nil), names...)
 	m.placeCounts = make([]atomic.Uint64, len(names))
+	m.migrateCounts = make([]atomic.Uint64, len(names))
 }
 
 // CountPlacement records one placement onto the i-th registered cluster.
@@ -43,6 +51,24 @@ func (m *Metrics) CountPlacement(i int) {
 	if i >= 0 && i < len(m.placeCounts) {
 		m.placeCounts[i].Add(1)
 	}
+}
+
+// CountMigration records one recommended move onto the i-th registered
+// cluster.
+func (m *Metrics) CountMigration(i int) {
+	if i >= 0 && i < len(m.migrateCounts) {
+		m.migrateCounts[i].Add(1)
+	}
+}
+
+// MigrationCounts returns the per-cluster recommended-move counts in
+// registration order (for tests and status pages).
+func (m *Metrics) MigrationCounts() []uint64 {
+	out := make([]uint64, len(m.migrateCounts))
+	for i := range m.migrateCounts {
+		out[i] = m.migrateCounts[i].Load()
+	}
+	return out
 }
 
 // Placements returns the per-cluster placement counts in registration
@@ -161,5 +187,11 @@ func (m *Metrics) WriteProm(w io.Writer, policy string) {
 			fmt.Fprintf(w, "rlserv_placements_total{cluster=%q} %d\n", name, m.placeCounts[i].Load())
 		}
 		m.PlaceLatency.writeProm(w, "rlserv_place_latency_seconds")
+		fmt.Fprintf(w, "# TYPE rlserv_migrate_checks_total counter\nrlserv_migrate_checks_total %d\n",
+			m.MigrateChecksTotal.Load())
+		fmt.Fprintf(w, "# TYPE rlserv_migrations_total counter\n")
+		for i, name := range m.placeNames {
+			fmt.Fprintf(w, "rlserv_migrations_total{cluster=%q} %d\n", name, m.migrateCounts[i].Load())
+		}
 	}
 }

@@ -41,6 +41,17 @@ type Config struct {
 	// each shard's own policy scores the job), "least-loaded" or
 	// "binpack".
 	PlaceRouter string
+	// Migrate enables the POST /migrate endpoint in fleet mode: re-score
+	// a queued job against the posted cluster states and recommend
+	// whether it should move off its current cluster.
+	Migrate bool
+	// MigrateMargin is the hysteresis margin a recommended move must
+	// clear on the pipeline's normalized score scale. 0 disables the
+	// hysteresis (any strict improvement clears it); the endpoint's
+	// drained-destination gate applies regardless of the margin. The
+	// rlservd flag defaults to 0.25, the fleet controller's recommended
+	// policy.
+	MigrateMargin float64
 }
 
 // Server is the decision service: an Engine behind a Batcher behind an
@@ -54,10 +65,12 @@ type Server struct {
 	maxStates int
 	reloadMu  sync.Mutex // serializes /reload (swap itself is atomic)
 
-	// Fleet mode (nil/empty otherwise): per-cluster shards and the
-	// placement pipeline behind POST /place.
-	shards []*shard
-	placer *fleet.Pipeline
+	// Fleet mode (nil/empty otherwise): per-cluster shards, the
+	// placement pipeline behind POST /place, and the /migrate hysteresis
+	// (negative = endpoint disabled).
+	shards        []*shard
+	placer        *fleet.Pipeline
+	migrateMargin float64
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -102,6 +115,7 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("/v1/decide", s.handleDecide)
 	s.mux.HandleFunc("/place", s.handlePlace)
+	s.mux.HandleFunc("/migrate", s.handleMigrate)
 	s.mux.HandleFunc("/reload", s.handleReload)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)

@@ -24,6 +24,16 @@ import (
 // preloaded future arrivals (Load a full sequence OR Submit jobs one by
 // one). The job's SubmitTime must not lie in the future — advance the
 // clock to the arrival instant first.
+//
+// The pending queue stays in FCFS order keyed by (SubmitTime, ID). Fresh
+// arrivals append (nothing already queued was submitted later), so
+// incrementally driven runs schedule exactly like Load-driven ones; a
+// *re*-submitted job (Withdraw on one cluster, Submit on another — the
+// migration path) regains the queue position its original arrival time
+// entitles it to instead of being demoted to the back. That ordering is
+// what makes withdraw-then-resubmit-to-the-same-cluster a no-op on
+// results, and why migrated jobs keep their original arrival time in
+// metrics: waits are measured from true submission wherever the job runs.
 func (s *Simulator) Submit(j *job.Job) error {
 	if err := j.Validate(); err != nil {
 		return err
@@ -44,10 +54,63 @@ func (s *Simulator) Submit(j *job.Job) error {
 		s.userProcs = map[int]int{}
 	}
 	j.Reset()
-	s.seq = append(s.seq, j)
+	// Both the sequence history and the pending queue keep (SubmitTime,
+	// ID) order — the history so that metric summation order (and thus
+	// floating-point results) is independent of withdraw/resubmit probes,
+	// the queue for FCFS semantics. Walking back from the tail makes a
+	// fresh arrival a plain append.
+	insertOrdered(&s.seq, j)
 	s.arrivalIdx = len(s.seq)
-	s.pending = append(s.pending, j)
+	insertOrdered(&s.pending, j)
 	return nil
+}
+
+// insertOrdered places j into the (SubmitTime, ID)-sorted slice.
+func insertOrdered(s *[]*job.Job, j *job.Job) {
+	q := *s
+	idx := len(q)
+	for idx > 0 {
+		p := q[idx-1]
+		if p.SubmitTime < j.SubmitTime ||
+			(p.SubmitTime == j.SubmitTime && p.ID < j.ID) {
+			break
+		}
+		idx--
+	}
+	q = append(q, nil)
+	copy(q[idx+1:], q[idx:])
+	q[idx] = j
+	*s = q
+}
+
+// Withdraw removes a still-pending job from the simulator and returns it —
+// the inverse of Submit, and the primitive cross-cluster migration
+// (internal/fleet) is built from: withdraw from the source cluster,
+// re-score, Submit to the destination. A job that has started (or already
+// completed) cannot be withdrawn; neither can one the simulator never
+// received. Withdraw-then-resubmit to the same cluster at the same instant
+// restores the exact pre-withdraw schedule (Submit reinserts by original
+// submit time), so an aborted migration is a provable no-op.
+func (s *Simulator) Withdraw(id int) (*job.Job, error) {
+	if s.arrivalIdx != len(s.seq) {
+		return nil, fmt.Errorf("sim: cannot Withdraw while %d preloaded arrivals are pending",
+			len(s.seq)-s.arrivalIdx)
+	}
+	for i, j := range s.pending {
+		if j.ID != id {
+			continue
+		}
+		s.pending = append(s.pending[:i], s.pending[i+1:]...)
+		for k, q := range s.seq {
+			if q == j {
+				s.seq = append(s.seq[:k], s.seq[k+1:]...)
+				break
+			}
+		}
+		s.arrivalIdx = len(s.seq)
+		return j, nil
+	}
+	return nil, fmt.Errorf("sim: job %d is not pending (never submitted, already started, or withdrawn)", id)
 }
 
 // AdvanceClock moves the clock forward to t, completing jobs and admitting

@@ -107,6 +107,125 @@ func TestSubmitGuards(t *testing.T) {
 	}
 }
 
+// TestWithdraw covers the inverse-of-Submit surface: a pending job can be
+// withdrawn exactly once, started and unknown jobs cannot, and accounting
+// (pending queue, sequence history, Done) stays consistent.
+func TestWithdraw(t *testing.T) {
+	s := New(Config{Processors: 8})
+	a := stepJob(1, 0, 100, 4)
+	b := stepJob(2, 0, 50, 2)
+	for _, j := range []*job.Job{a, b} {
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Withdraw(99); err == nil {
+		t.Fatal("withdrawing an unknown job must error")
+	}
+	got, err := s.Withdraw(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("Withdraw returned %v, want job 1", got)
+	}
+	if s.PendingCount() != 1 || s.PendingWork() != 100 {
+		t.Fatalf("after withdraw: pending=%d work=%g, want 1, 100", s.PendingCount(), s.PendingWork())
+	}
+	if _, err := s.Withdraw(1); err == nil {
+		t.Fatal("double withdraw must error")
+	}
+	if err := s.StartNow(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Withdraw(2); err == nil {
+		t.Fatal("withdrawing a started job must error")
+	}
+	s.AdvanceClock(50)
+	if !s.Done() {
+		t.Fatal("the only remaining job completed; Done must account for the withdrawal")
+	}
+	if n := len(s.Result().Jobs); n != 1 {
+		t.Fatalf("result holds %d jobs, want 1 (withdrawn job left the history)", n)
+	}
+
+	// Withdraw is Submit-mode only, like Submit itself.
+	s2 := New(Config{Processors: 4})
+	if err := s2.Load([]*job.Job{stepJob(3, 5, 60, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Withdraw(3); err == nil {
+		t.Fatal("Withdraw must refuse while preloaded arrivals are pending")
+	}
+}
+
+// TestWithdrawResubmitParity is the migration subsystem's correctness
+// anchor: withdrawing a pending job and immediately resubmitting it to the
+// same simulator must reproduce the untouched run exactly — same queue
+// order, same start times, same metrics — even when the job sits in the
+// middle of the queue.
+func TestWithdrawResubmitParity(t *testing.T) {
+	mk := func() []*job.Job {
+		return []*job.Job{
+			stepJob(1, 0, 1000, 8), // occupies the whole cluster
+			stepJob(2, 1, 300, 4),
+			stepJob(3, 2, 200, 4),
+			stepJob(4, 3, 100, 2),
+		}
+	}
+	run := func(disturb bool) []*job.Job {
+		s := New(Config{Processors: 8, Backfill: true})
+		jobs := mk()
+		for _, j := range jobs {
+			s.AdvanceClock(j.SubmitTime)
+			if err := s.Submit(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if disturb {
+			// Pull job 3 out of the middle of the queue and put it back.
+			w, err := s.Withdraw(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Submit(w); err != nil {
+				t.Fatal(err)
+			}
+			if vis := s.Visible(); vis[2].ID != 3 {
+				t.Fatalf("resubmitted job lost its queue position: %v", vis)
+			}
+		}
+		// Drive FCFS to completion through the stepping surface.
+		for {
+			for len(s.Visible()) > 0 {
+				head := s.Visible()[0]
+				if !s.CanStartNow(head) {
+					s.BackfillNow(head)
+				}
+				if !s.CanStartNow(head) {
+					break
+				}
+				if err := s.StartNow(head); err != nil {
+					t.Fatal(err)
+				}
+			}
+			et, ok := s.NextEventTime()
+			if !ok {
+				break
+			}
+			s.AdvanceClock(et)
+		}
+		return jobs
+	}
+	ref, got := run(false), run(true)
+	for i := range ref {
+		if ref[i].StartTime != got[i].StartTime {
+			t.Fatalf("job %d: start %g without withdraw, %g with withdraw-resubmit",
+				ref[i].ID, ref[i].StartTime, got[i].StartTime)
+		}
+	}
+}
+
 // TestBackfillNowMatchesScheduleBackfill: with backfilling enabled,
 // BackfillNow starts exactly the jobs Schedule's internal pass would.
 func TestBackfillNowStartsSafeJobs(t *testing.T) {
