@@ -7,11 +7,12 @@
 //     repository (external http/https/mailto links are not fetched — CI
 //     must not depend on the network).
 //
-//  2. Godoc coverage: every exported identifier in internal/fleet and in
-//     the internal/sim incremental stepping surface (stepper.go) must
-//     carry a doc comment, so `go doc ./internal/fleet` stays a complete
-//     reference for the placement/migration subsystem. New exported API
-//     without documentation fails CI — coverage can only regress loudly.
+//  2. Godoc coverage: every exported identifier in internal/fleet, in
+//     internal/metrics, and in the internal/sim incremental stepping
+//     surface (stepper.go) must carry a doc comment, so `go doc` stays a
+//     complete reference for the placement/migration/fairness subsystem
+//     and the metric surface it optimizes. New exported API without
+//     documentation fails CI — coverage can only regress loudly.
 //
 // Usage: go run ./cmd/docscheck [repo-root]
 package main
@@ -37,6 +38,7 @@ var godocTargets = []struct {
 	file string
 }{
 	{dir: "internal/fleet"},
+	{dir: "internal/metrics"},
 	{dir: "internal/sim", file: "stepper.go"},
 }
 

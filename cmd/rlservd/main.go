@@ -48,6 +48,20 @@
 //	  "clusters": [{"name": "large", "free_procs": 0,  "total_procs": 256, "jobs": [[-60,600,16]]},
 //	               {"name": "small", "free_procs": 64, "total_procs": 64,  "jobs": []}]}'
 //
+// With -fair-weight N, /place becomes per-user fairness aware: clusters
+// post the jobs they finished ("completed": [[user, wait, run], ...] or
+// equivalent objects) alongside their queue state, the daemon tracks every
+// user's bounded-slowdown share per cluster, and the placement pipeline
+// steers deprived users' jobs onto capacity that runs them now (and off
+// clusters that historically hurt them). Each /place answer reports the
+// job's user state; /metrics gains the rlserv_fairness_score view:
+//
+//	rlservd -shard ... -fair-weight 1
+//	curl -s localhost:9090/place -d '{
+//	  "job": [0, 3600, 16, 7],
+//	  "clusters": [{"name": "large", "free_procs": 200, "total_procs": 256, "jobs": [],
+//	                "completed": [[7, 9000, 60], [3, 10, 600]]}]}'
+//
 // Observe:
 //
 //	curl -s localhost:9090/metrics
@@ -119,6 +133,9 @@ func main() {
 		"fleet mode: enable the POST /migrate re-placement endpoint and its /metrics counters")
 	migrateMargin := flag.Float64("migrate-margin", 0.25,
 		"hysteresis margin a recommended move must clear (normalized score scale)")
+	fairWeight := flag.Float64("fair-weight", 0,
+		"fleet mode: weight of the per-user fairness plugin in the /place pipeline (0 disables); "+
+			"clusters feed it by posting completed jobs with their /place states")
 	flag.Parse()
 
 	srv, err := serve.NewServer(serve.Config{
@@ -131,6 +148,7 @@ func main() {
 		PlaceRouter:   *placeRouter,
 		Migrate:       *migrate,
 		MigrateMargin: *migrateMargin,
+		FairWeight:    *fairWeight,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rlservd: %v\n", err)

@@ -28,7 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"table2", "table5", "table6", "table7", "table8", "table9", "table10", "table11",
 		"ablation-backfill", "ablation-kernel", "ablation-obswindow", "ablation-dqn",
-		"fleet-placement", "fleet-migration",
+		"fleet-placement", "fleet-migration", "fleet-fairness",
 	}
 	ids := IDs()
 	have := map[string]bool{}

@@ -1,0 +1,410 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+)
+
+// Fleet-wide fairness plugin (DESIGN.md §8). The paper's §V-F fairness
+// goal is per-cluster; routed across a fleet, one user's jobs can be
+// starved on every member while each member's own FairMaxBoundedSlowdown
+// looks healthy. FairnessScorer is the placement-layer lever: it tracks
+// every user's realized bounded slowdown per cluster — updated
+// incrementally as members complete jobs — blends that with the live
+// pending queues, and biases placement three ways, each in proportion to
+// how far the user's service runs from every OTHER user's:
+//
+//  1. Rescue: a deprived user's jobs are steered onto clusters that can
+//     start them immediately (free capacity, empty queue).
+//  2. Yield: a privileged user's jobs are steered OFF immediately
+//     available capacity, leaving it for the deprived.
+//  3. Repulsion: clusters where this user's completed jobs fared worse
+//     than their own average are penalized, steering the user away from
+//     the member that is structurally bad for their job mix instead of
+//     re-queueing them behind the same backlog.
+//
+// The same scorer instance also repairs fairness during migration sweeps:
+// the migration controller re-scores pending jobs through the router
+// pipeline, so a deprived user's stranded job clears the hysteresis margin
+// toward a drained cluster exactly like a fresh arrival would.
+
+// StateScorer is a Scorer that carries run-scoped state fed by the fleet:
+// Reset starts a fresh run, Observe folds in a job some member finished.
+// The fleet feeds completions in a deterministic order (members in index
+// order, each member's completions in completion order), so stateful
+// scoring stays reproducible run-to-run.
+type StateScorer interface {
+	Scorer
+	// Reset clears all accumulated state (a new Run starts).
+	Reset()
+	// Observe folds one completed job into the state. cluster is the
+	// member index the job ran on.
+	Observe(cluster int, j *job.Job)
+}
+
+// FairnessConfig parameterizes FairnessScorer. The zero value selects the
+// defaults noted per field.
+//
+// Calibration matters more than any individual knob: the pipeline's
+// per-plugin min-max normalization stretches whatever score differences a
+// plugin emits to the full [0,1] range, so a fairness plugin that emitted
+// *only* fairness terms would have its noise-level preferences amplified
+// into full-strength routing overrides (measurably catastrophic: small
+// clusters drown in rescued jobs). FairnessScorer therefore embeds the
+// binpack signal as its baseline and adds fairness terms scaled by the
+// user's deprivation — for an average user its ordering is exactly
+// Binpack's, and the plugin can stand alone in a pipeline.
+type FairnessConfig struct {
+	// StartBoost scales the rescue term: how strongly a fully deprived
+	// user's jobs prefer a cluster that can start them right now, on the
+	// scale of the plugin's internal [0,1]-normalized load signal.
+	// Default 3: full deprivation outbids any load difference.
+	StartBoost float64
+	// YieldPenalty scales the yield term — the rescue's mirror image: a
+	// fully privileged user (served far better than everyone else) is
+	// steered OFF clusters that could start their job immediately,
+	// leaving drained capacity for the deprived instead of letting the
+	// already-comfortable snap it up. Default 1.
+	YieldPenalty float64
+	// HistPenalty scales the repulsion term: how strongly a fully
+	// deprived user avoids clusters that served them worse than their own
+	// average. Default 1.
+	HistPenalty float64
+	// DepFloor is the user-mean / other-user-mean bounded-slowdown ratio
+	// at which a user starts counting as deprived (and, mirrored, as
+	// privileged). Default 2 — noise around the average triggers nothing.
+	DepFloor float64
+	// DepSpan is the ratio range over which deprivation ramps from 0 to
+	// full strength above DepFloor. Default 2: a user at (DepFloor+2)×
+	// the other-user mean is maximally deprived.
+	DepSpan float64
+	// RelCap caps the per-cluster history excess (cluster mean / user
+	// mean − 1) that maps to a full-strength repulsion. Default 2.
+	RelCap float64
+	// MinObs is the minimum number of completed jobs a user needs on a
+	// cluster before its history repels them (one unlucky job is not a
+	// pattern). Default 2.
+	MinObs int
+}
+
+func (c FairnessConfig) withDefaults() FairnessConfig {
+	if c.StartBoost <= 0 {
+		c.StartBoost = 3
+	}
+	if c.YieldPenalty <= 0 {
+		c.YieldPenalty = 1
+	}
+	if c.HistPenalty <= 0 {
+		c.HistPenalty = 1
+	}
+	if c.DepFloor <= 0 {
+		c.DepFloor = 2
+	}
+	if c.DepSpan <= 0 {
+		c.DepSpan = 2
+	}
+	if c.RelCap <= 0 {
+		c.RelCap = 2
+	}
+	if c.MinObs <= 0 {
+		c.MinObs = 2
+	}
+	return c
+}
+
+// userShare accumulates one user's realized bounded slowdown: fleet-wide
+// and split per cluster.
+type userShare struct {
+	sum float64
+	n   int
+	// byCluster maps member index → (sum, n) of the user's completed
+	// bounded slowdowns there.
+	clSum map[int]float64
+	clN   map[int]int
+}
+
+// FairnessScorer is the stateful fairness Score plugin. It is safe for
+// concurrent use (the serving daemon scores and observes from concurrent
+// requests); within a Fleet.Run all calls are serial and deterministic.
+type FairnessScorer struct {
+	cfg FairnessConfig
+
+	mu    sync.Mutex
+	users map[int]*userShare
+	gSum  float64
+	gN    int
+}
+
+// NewFairnessScorer returns a fairness plugin with the config's defaults
+// filled in.
+func NewFairnessScorer(cfg FairnessConfig) *FairnessScorer {
+	return &FairnessScorer{cfg: cfg.withDefaults(), users: map[int]*userShare{}}
+}
+
+// Name implements Scorer.
+func (f *FairnessScorer) Name() string { return "fairness" }
+
+// Reset implements StateScorer: all shares are dropped, as at the start of
+// a fresh Fleet.Run.
+func (f *FairnessScorer) Reset() {
+	f.mu.Lock()
+	f.users = map[int]*userShare{}
+	f.gSum, f.gN = 0, 0
+	f.mu.Unlock()
+}
+
+// bucket collapses unknown users (UserID < 0) into the -1 bucket, matching
+// metrics.PerUser.
+func bucket(uid int) int {
+	if uid < 0 {
+		return -1
+	}
+	return uid
+}
+
+// pendingBsld is the bounded slowdown a still-pending job is already
+// committed to if it were started at now: wait so far plus its requested
+// time, over max(requested, threshold). Only scheduler-visible attributes
+// are read (requested time, never the actual runtime), so the live
+// deprivation signal sees exactly what a production scheduler could.
+func pendingBsld(j *job.Job, now float64) float64 {
+	den := j.RequestedTime
+	if den < metrics.BsldThreshold {
+		den = metrics.BsldThreshold
+	}
+	if den <= 0 {
+		return 1
+	}
+	s := (now - j.SubmitTime + j.RequestedTime) / den
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Observe implements StateScorer: fold the completed job's bounded
+// slowdown into its user's fleet-wide and per-cluster shares.
+func (f *FairnessScorer) Observe(cluster int, j *job.Job) {
+	if !j.Started() {
+		return
+	}
+	b := j.BoundedSlowdown(metrics.BsldThreshold)
+	f.mu.Lock()
+	u := f.users[bucket(j.UserID)]
+	if u == nil {
+		u = &userShare{clSum: map[int]float64{}, clN: map[int]int{}}
+		f.users[bucket(j.UserID)] = u
+	}
+	u.sum += b
+	u.n++
+	u.clSum[cluster] += b
+	u.clN[cluster]++
+	f.gSum += b
+	f.gN++
+	f.mu.Unlock()
+}
+
+// Score implements Scorer. The baseline is the binpack signal — the
+// strongest load-aware placement heuristic on bursty narrow-job streams
+// (start-now clusters first, tightest fit preferred, least-loaded queue as
+// the fallback) — min-max normalized to [0,1] across the candidates
+// inside the plugin; fairness terms perturb it in proportion to the
+// user's deprivation or privilege. A user near the other-user average
+// scores exactly like Binpack (same ordering, same ties), so the plugin
+// is safe to run standalone: cold starts and average users degrade to
+// packing rather than to noise-amplified steering.
+func (f *FairnessScorer) Score(j *job.Job, cands []*Candidate, out []float64) {
+	// out doubles as the baseline scratch: fill with binpack raws,
+	// normalize, then overlay the fairness terms.
+	Binpack{}.Score(j, cands, out)
+	lo, hi := scoreBounds(out)
+	if span := hi - lo; span > 0 {
+		for i := range out {
+			out[i] = (out[i] - lo) / span
+		}
+	} else {
+		for i := range out {
+			out[i] = 0
+		}
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	u := f.users[bucket(j.UserID)]
+	// The deprivation signal blends two sources. Realized: the tracked
+	// bounded slowdowns of completed jobs. Live: every pending job visible
+	// in the candidates — plus the job being scored itself — counted at
+	// the bounded slowdown it is already committed to (wait so far + its
+	// requested time). Without the live half the plugin is blind exactly
+	// where it matters: a user whose few jobs are all stuck in queues has
+	// no completions to look deprived by, and a migration sweep re-scoring
+	// a withdrawn stuck job would see its own victim vanish from the
+	// queues it reads.
+	now := j.SubmitTime
+	for _, c := range cands {
+		if c.Now > now {
+			now = c.Now
+		}
+	}
+	uSum, uN := 0.0, 0
+	gSum, gN := f.gSum, f.gN
+	if u != nil {
+		uSum, uN = u.sum, u.n
+	}
+	me := bucket(j.UserID)
+	uWork, gWork := 0.0, 0.0
+	for _, c := range cands {
+		for _, pj := range c.Visible {
+			b := pendingBsld(pj, c.Now)
+			w := pj.RequestedTime * float64(pj.RequestedProcs)
+			gSum += b
+			gN++
+			gWork += w
+			if bucket(pj.UserID) == me {
+				uSum += b
+				uN++
+				uWork += w
+			}
+		}
+	}
+	// The scored job itself counts toward its user's service signal but
+	// NOT toward the demand share below: one job is never its own
+	// competition, and in a migration sweep it was just withdrawn from
+	// the queues anyway.
+	b := pendingBsld(j, now)
+	gSum += b
+	gN++
+	uSum += b
+	uN++
+	userMean := uSum / float64(uN)
+	// The comparator is the mean service of every OTHER user. Against a
+	// whole-fleet mean a dominant user could never look deprived — their
+	// own jobs ARE most of the average — which is backwards for the
+	// heavy-user regime this plugin exists for.
+	otherMean := 0.0
+	if gN > uN {
+		otherMean = (gSum - uSum) / float64(gN-uN)
+	}
+	// dep ∈ [0,1]: how far above DepFloor× the other-user average bounded
+	// slowdown this user's service (realized + committed) runs, ramping
+	// over DepSpan.
+	dep := 0.0
+	if otherMean > 0 && userMean > f.cfg.DepFloor*otherMean {
+		dep = (userMean/otherMean - f.cfg.DepFloor) / f.cfg.DepSpan
+		if dep > 1 {
+			dep = 1
+		}
+		// Demand normalization: a user who owns most of the pending work
+		// is not deprived, they are the cause — their self-inflicted
+		// queueing must not trigger rescues that snap up the drained
+		// capacity their victims need. Deprivation scales by the share of
+		// pending work *not* theirs.
+		if gWork > 0 {
+			dep *= 1 - uWork/gWork
+		}
+	}
+	// priv ∈ [0,1] is the mirror ramp: how far BELOW the other-user
+	// average this user's service runs. A privileged user yields start-now
+	// capacity to the deprived instead of snapping it up.
+	priv := 0.0
+	if userMean > 0 && otherMean > f.cfg.DepFloor*userMean {
+		priv = (otherMean/userMean - f.cfg.DepFloor) / f.cfg.DepSpan
+		if priv > 1 {
+			priv = 1
+		}
+	}
+	if dep == 0 && priv == 0 {
+		return
+	}
+	histMean := userMean
+	if u != nil && u.n > 0 {
+		histMean = u.sum / float64(u.n)
+	}
+	for i, c := range cands {
+		// Rescue / yield on immediately available capacity.
+		if c.Pending == 0 && c.View.FreeProcs >= j.RequestedProcs {
+			out[i] += f.cfg.StartBoost*dep - f.cfg.YieldPenalty*priv
+		}
+		if dep == 0 {
+			continue
+		}
+		// Repulsion: penalize the clusters whose realized history served
+		// this user worse than their own realized average — but only with
+		// enough history there to call it a pattern.
+		if u == nil || histMean <= 0 {
+			continue
+		}
+		if n := u.clN[c.Index]; n >= f.cfg.MinObs {
+			rel := (u.clSum[c.Index]/float64(n))/histMean - 1
+			if rel > 0 {
+				if rel > f.cfg.RelCap {
+					rel = f.cfg.RelCap
+				}
+				out[i] -= f.cfg.HistPenalty * dep * rel / f.cfg.RelCap
+			}
+		}
+	}
+}
+
+// UserMeans snapshots the per-user fleet-wide mean bounded slowdowns
+// accumulated so far, sorted by user ID — the live counterpart of
+// metrics.PerUser over completed jobs.
+func (f *FairnessScorer) UserMeans() []metrics.UserMean {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]metrics.UserMean, 0, len(f.users))
+	for uid, u := range f.users {
+		out = append(out, metrics.UserMean{UserID: uid, Jobs: u.n, Mean: u.sum / float64(u.n)})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].UserID < out[k].UserID })
+	return out
+}
+
+// Report summarizes the tracked state as a metrics.FairnessReport — the
+// view the serving daemon exports as rlserv_fairness_score.
+func (f *FairnessScorer) Report() metrics.FairnessReport {
+	return metrics.FairnessOf(f.UserMeans())
+}
+
+// UserState returns the tracked fleet-wide mean bounded slowdown and job
+// count for one user (zeroes when the user has no completed jobs), plus
+// the fleet-wide mean over everyone — the /place response's per-user
+// exposure.
+func (f *FairnessScorer) UserState(uid int) (userMean float64, jobs int, fleetMean float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.gN > 0 {
+		fleetMean = f.gSum / float64(f.gN)
+	}
+	if u := f.users[bucket(uid)]; u != nil && u.n > 0 {
+		userMean, jobs = u.sum/float64(u.n), u.n
+	}
+	return userMean, jobs, fleetMean
+}
+
+// FairnessPipeline routes like BinpackPipeline until a user drifts from
+// the other-user average, then overlays the stateful fairness terms:
+// deprived users are rescued onto drained capacity and steered off the
+// members that historically hurt them, privileged users yield. The
+// fairness scorer embeds the binpack baseline itself (see
+// FairnessConfig), so it runs standalone.
+func FairnessPipeline(cfg FairnessConfig) *Pipeline {
+	return NewPipeline("fair",
+		[]Filter{CapacityFilter{}},
+		[]WeightedScorer{{Scorer: NewFairnessScorer(cfg), Weight: 1}})
+}
+
+// StateScorers returns the pipeline's stateful scorers, in scorer order.
+// The Fleet resets them per run and feeds them member completions.
+func (p *Pipeline) StateScorers() []StateScorer {
+	var out []StateScorer
+	for _, ws := range p.Scorers {
+		if ss, ok := ws.Scorer.(StateScorer); ok {
+			out = append(out, ss)
+		}
+	}
+	return out
+}

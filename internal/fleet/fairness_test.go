@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"rlsched/internal/job"
+	"rlsched/internal/sim"
+)
+
+// doneJob builds a completed job: submitted at 0, waited w, ran r.
+func doneJob(user int, wait, run float64) *job.Job {
+	j := job.New(1, 0, run, 1, run)
+	j.UserID = user
+	j.StartTime = wait
+	j.EndTime = wait + run
+	return j
+}
+
+func idleCand(idx, free, total int) *Candidate {
+	return &Candidate{Index: idx, View: sim.ClusterView{FreeProcs: free, TotalProcs: total}}
+}
+
+// TestFairnessScorerColdMatchesBinpack: with no tracked state and no
+// pending jobs, the fairness scorer's ordering must equal Binpack's —
+// cold starts degrade to packing, never to noise-amplified steering.
+func TestFairnessScorerColdMatchesBinpack(t *testing.T) {
+	f := NewFairnessScorer(FairnessConfig{})
+	cands := []*Candidate{
+		idleCand(0, 256, 256),
+		idleCand(1, 24, 128),
+		{Index: 2, View: sim.ClusterView{FreeProcs: 0, TotalProcs: 64}, Pending: 3, PendingWork: 4000},
+	}
+	j := job.New(9, 0, 300, 16, 300)
+	fair := make([]float64, len(cands))
+	base := make([]float64, len(cands))
+	f.Score(j, cands, fair)
+	Binpack{}.Score(j, cands, base)
+	for a := 0; a < len(cands); a++ {
+		for b := 0; b < len(cands); b++ {
+			if (fair[a] > fair[b]) != (base[a] > base[b]) {
+				t.Fatalf("cold fairness ordering diverges from binpack: fair=%v binpack=%v", fair, base)
+			}
+		}
+	}
+}
+
+// TestFairnessRescueAndRepulsion: a user starved fleet-wide is steered
+// off the cluster that hurt them when an equally idle alternative exists;
+// a user with no history keeps the baseline tie.
+func TestFairnessRescueAndRepulsion(t *testing.T) {
+	f := NewFairnessScorer(FairnessConfig{})
+	// User 7: two terrible completions on cluster 0, two good on cluster 1.
+	f.Observe(0, doneJob(7, 9000, 60))
+	f.Observe(0, doneJob(7, 9100, 60))
+	f.Observe(1, doneJob(7, 5, 60))
+	f.Observe(1, doneJob(7, 6, 60))
+	// User 3: comfortable everywhere.
+	f.Observe(0, doneJob(3, 10, 600))
+	f.Observe(1, doneJob(3, 12, 600))
+
+	cands := []*Candidate{idleCand(0, 64, 64), idleCand(1, 64, 64)}
+	out := make([]float64, 2)
+
+	starved := job.New(1, 0, 600, 16, 600)
+	starved.UserID = 7
+	f.Score(starved, cands, out)
+	if !(out[1] > out[0]) {
+		t.Fatalf("starved user must be repelled from cluster 0: scores %v", out)
+	}
+
+	fresh := job.New(2, 0, 600, 16, 600)
+	fresh.UserID = 99
+	f.Score(fresh, cands, out)
+	if out[0] != out[1] {
+		t.Fatalf("unknown user must keep the baseline tie: scores %v", out)
+	}
+
+	// Reset drops every share: the starved user ties again.
+	f.Reset()
+	f.Score(starved, cands, out)
+	if out[0] != out[1] {
+		t.Fatalf("post-reset scores must tie: %v", out)
+	}
+	if rep := f.Report(); rep.Users != 0 || rep.Jain != 1 {
+		t.Fatalf("post-reset report not empty: %+v", rep)
+	}
+}
+
+// TestFairnessYield: a privileged user (served far better than everyone
+// else) must yield an immediately available cluster to the queue of a
+// busier one when the baseline is a dead tie... here expressed directly:
+// the start-now candidate's score drops below a queued twin's.
+func TestFairnessYield(t *testing.T) {
+	f := NewFairnessScorer(FairnessConfig{})
+	// User 5 is comfortable; everyone else is starved.
+	f.Observe(0, doneJob(5, 0, 600))
+	f.Observe(0, doneJob(5, 1, 600))
+	for i := 0; i < 4; i++ {
+		f.Observe(0, doneJob(8, 9000, 60))
+	}
+	// One idle start-now cluster against one queued cluster. The gap
+	// between them measures how strongly a job is pulled toward starting
+	// now: the cold baseline (no state) sets the reference, the starved
+	// user must be pulled harder (rescue), the privileged user softer
+	// (yield).
+	cands := []*Candidate{idleCand(0, 64, 64), {Index: 1, View: sim.ClusterView{FreeProcs: 0, TotalProcs: 64}, Pending: 1, PendingWork: 600}}
+	gap := func(scorer *FairnessScorer, user int) float64 {
+		j := job.New(1, 0, 600, 16, 600)
+		j.UserID = user
+		out := make([]float64, 2)
+		scorer.Score(j, cands, out)
+		return out[0] - out[1]
+	}
+	baseGap := gap(NewFairnessScorer(FairnessConfig{}), 42) // cold reference
+	privGap := gap(f, 5)
+	starvedGap := gap(f, 8)
+	if !(privGap < baseGap) {
+		t.Fatalf("privileged user must yield the start-now cluster: gap %.3f !< cold %.3f", privGap, baseGap)
+	}
+	if !(starvedGap > baseGap) {
+		t.Fatalf("starved user must be rescued toward the start-now cluster: gap %.3f !> cold %.3f", starvedGap, baseGap)
+	}
+}
+
+// TestPendingBsld pins the live-signal helper: wait-so-far plus requested
+// time over max(requested, threshold), floored at 1, never reading the
+// actual runtime.
+func TestPendingBsld(t *testing.T) {
+	j := job.New(1, 100, 99999, 4, 60) // huge actual runtime, small request
+	if got := pendingBsld(j, 100); got != 1 {
+		t.Errorf("fresh job pendingBsld = %g, want 1", got)
+	}
+	// wait 540 + req 60 over max(60, 10) = 10.
+	if got := pendingBsld(j, 640); got != 10 {
+		t.Errorf("pendingBsld = %g, want 10", got)
+	}
+	short := job.New(2, 0, 5, 1, 5)
+	// threshold kicks in: (20 + 5) / 10.
+	if got := pendingBsld(short, 20); got != 2.5 {
+		t.Errorf("thresholded pendingBsld = %g, want 2.5", got)
+	}
+}
+
+// TestFairnessPipelineStatefulDeterminism: two freshly built fairness
+// fleets over the same stream must agree exactly — the stateful shares are
+// fed deterministically — and the plugin must actually have observed the
+// run's completions.
+func TestFairnessPipelineStatefulDeterminism(t *testing.T) {
+	stream := lublinStream(t, 250, 21)
+	run := func() ([]int, *FairnessScorer) {
+		fs := NewFairnessScorer(FairnessConfig{})
+		p := NewPipeline("fair", []Filter{CapacityFilter{}}, []WeightedScorer{{Scorer: fs, Weight: 1}})
+		f, err := New(heteroMembers(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.EnableMigration(func() MigrationConfig {
+			c := HysteresisMigration(500)
+			c.MigrateCommitted = true
+			return c
+		}()); err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(cloneStream(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Assignments, fs
+	}
+	a1, fs1 := run()
+	a2, fs2 := run()
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("job %d routed to %d then %d", i, a1[i], a2[i])
+		}
+	}
+	m1, m2 := fs1.UserMeans(), fs2.UserMeans()
+	if len(m1) == 0 {
+		t.Fatal("fairness plugin observed no completions during the run")
+	}
+	if len(m1) != len(m2) {
+		t.Fatalf("user means diverge: %d vs %d users", len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("user mean %d diverges: %+v vs %+v", i, m1[i], m2[i])
+		}
+	}
+	// UserState agrees with the means.
+	um, n, fm := fs1.UserState(m1[0].UserID)
+	if um != m1[0].Mean || n != m1[0].Jobs || !(fm > 0) {
+		t.Fatalf("UserState(%d) = %g/%d/%g, want %g/%d/>0", m1[0].UserID, um, n, fm, m1[0].Mean, m1[0].Jobs)
+	}
+}
+
+// TestStateScorersDiscovery: the pipeline reports its stateful scorers and
+// a run resets them (reset-safety: a second Run starts from zero shares,
+// pinned by identical assignments across back-to-back runs of one Fleet).
+func TestStateScorersDiscovery(t *testing.T) {
+	fs := NewFairnessScorer(FairnessConfig{})
+	p := NewPipeline("fair", []Filter{CapacityFilter{}}, []WeightedScorer{{Scorer: fs, Weight: 1}})
+	got := p.StateScorers()
+	if len(got) != 1 || got[0] != StateScorer(fs) {
+		t.Fatalf("StateScorers = %v, want the fairness plugin", got)
+	}
+	if n := len(LeastLoadedPipeline().StateScorers()); n != 0 {
+		t.Fatalf("least-loaded pipeline reports %d stateful scorers, want 0", n)
+	}
+
+	f, err := New(heteroMembers(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := lublinStream(t, 200, 31)
+	r1, err := f.Run(cloneStream(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run on the SAME fleet: reset() must clear the shares, so the
+	// assignments reproduce exactly.
+	r2, err := f.Run(cloneStream(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Assignments {
+		if r1.Assignments[i] != r2.Assignments[i] {
+			t.Fatalf("job %d routed to %d on run 1, %d on run 2: stateful shares leaked across runs",
+				i, r1.Assignments[i], r2.Assignments[i])
+		}
+	}
+}
+
+// TestFairnessScoreFinite: scores stay finite for degenerate inputs
+// (zero-proc views are impossible, but empty queues, unknown users and
+// single candidates are not).
+func TestFairnessScoreFinite(t *testing.T) {
+	f := NewFairnessScorer(FairnessConfig{})
+	f.Observe(0, doneJob(-1, 50, 10)) // unknown user bucket
+	j := job.New(1, 0, 10, 1, 10)
+	out := make([]float64, 1)
+	f.Score(j, []*Candidate{idleCand(0, 8, 8)}, out)
+	if math.IsNaN(out[0]) || math.IsInf(out[0], 0) {
+		t.Fatalf("single-candidate score = %g", out[0])
+	}
+	// Unstarted jobs are ignored by Observe.
+	f.Observe(0, job.New(9, 0, 10, 1, 10))
+	if rep := f.Report(); rep.Users != 1 {
+		t.Fatalf("unstarted job observed: %+v", rep)
+	}
+}

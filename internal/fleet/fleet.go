@@ -60,6 +60,8 @@ type MemberConfig struct {
 // surface. committed is the job the local policy has chosen and is
 // waiting to start — exactly the job sim.Schedule would be blocking on.
 // movedIn/movedOut count migration moves into and out of the member.
+// doneCursor marks how much of the member's completion log has already
+// been fed to stateful scorers.
 type member struct {
 	name       string
 	cfg        sim.Config
@@ -69,6 +71,7 @@ type member struct {
 	placements int
 	movedIn    int
 	movedOut   int
+	doneCursor int
 }
 
 // pump applies local scheduling decisions at the current instant without
@@ -144,6 +147,13 @@ type Fleet struct {
 	router  Router
 	cands   []*Candidate
 	migCfg  *MigrationConfig
+	// stateful lists the router's StateScorers (empty for stateless
+	// routers): reset per run and fed member completions before every
+	// placement and re-placement decision.
+	stateful []StateScorer
+	// lastMig retains the most recent run's migration controller state for
+	// white-box invariant tests.
+	lastMig *migrator
 }
 
 // New assembles a fleet. Members must have distinct names.
@@ -175,6 +185,9 @@ func New(members []MemberConfig, router Router) (*Fleet, error) {
 		})
 		f.cands = append(f.cands, &Candidate{Index: i, Name: mc.Name})
 	}
+	if sp, ok := router.(interface{ StateScorers() []StateScorer }); ok {
+		f.stateful = sp.StateScorers()
+	}
 	return f, nil
 }
 
@@ -193,7 +206,8 @@ func (f *Fleet) EnableMigration(cfg MigrationConfig) error {
 	return nil
 }
 
-// reset returns every member to an idle cluster at t=0.
+// reset returns every member to an idle cluster at t=0 and clears all
+// stateful-scorer state.
 func (f *Fleet) reset() error {
 	for _, m := range f.members {
 		if err := m.sim.Load(nil); err != nil {
@@ -203,8 +217,31 @@ func (f *Fleet) reset() error {
 		m.placements = 0
 		m.movedIn = 0
 		m.movedOut = 0
+		m.doneCursor = 0
+	}
+	for _, s := range f.stateful {
+		s.Reset()
 	}
 	return nil
+}
+
+// observeCompletions feeds every completion since the last call to the
+// stateful scorers, members in index order, each member's completions in
+// completion order — a deterministic stream, so stateful placement is
+// reproducible run-to-run.
+func (f *Fleet) observeCompletions() {
+	if len(f.stateful) == 0 {
+		return
+	}
+	for i, m := range f.members {
+		log := m.sim.Completions()
+		for _, j := range log[m.doneCursor:] {
+			for _, s := range f.stateful {
+				s.Observe(i, j)
+			}
+		}
+		m.doneCursor = len(log)
+	}
 }
 
 // candidates refreshes the plugin-visible state of every member.
@@ -267,6 +304,7 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 	if f.migCfg != nil {
 		mig = newMigrator(*f.migCfg, f.router.(ScoredRouter), stream[0].SubmitTime)
 	}
+	f.lastMig = mig
 	assignments := make([]int, len(stream))
 	prev := stream[0].SubmitTime
 	for i, j := range stream {
@@ -284,6 +322,7 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 				return nil, err
 			}
 		}
+		f.observeCompletions()
 		k := f.router.Place(j, f.candidates())
 		if k < 0 || k >= len(f.members) {
 			// Run has no fleet-level holding queue: a router that

@@ -62,6 +62,21 @@ type MigrationConfig struct {
 	// the capacity it was waiting for (the two failure modes of greedy
 	// rebalancing onto clusters that merely *look* lighter).
 	RequireStartNow bool
+	// MigrateCommitted additionally lets sweeps re-place the job the
+	// member's local policy has committed to (picked but still waiting
+	// for capacity). A starved job is very often exactly that pick — a
+	// short job at the head of an SJF/F1 queue blocked behind a wide
+	// running job — so fairness-repairing sweeps need it movable. The
+	// committed job is still pending (it has not started), so a withdraw
+	// is legal; when the move goes through the member re-picks at the
+	// sweep instant, and when the probe aborts the original pick is
+	// restored untouched (never re-evaluated — time-dependent policies
+	// would otherwise change a decision sim.Run would have held), which
+	// keeps the disabled/ineffective-migration byte-parity guarantee.
+	// Default off: moving the pick forfeits the EASY backfill shadow
+	// reservation built around it, a trade only fairness-driven policies
+	// should opt into.
+	MigrateCommitted bool
 }
 
 func (c MigrationConfig) validate() error {
@@ -99,10 +114,13 @@ func AlwaysRebalance(interval float64) MigrationConfig {
 	return MigrationConfig{Interval: interval}
 }
 
-// migInfo is the controller's per-job move history.
+// migInfo is the controller's per-job move history. times retains every
+// move instant (bounded by MaxMovesPerJob in any budgeted config) so
+// invariant tests can audit budgets and cooldowns after a run.
 type migInfo struct {
 	moves    int
-	lastMove float64 // global clock of the most recent move
+	lastMove float64   // global clock of the most recent move
+	times    []float64 // every move instant, in order
 }
 
 // migrator is the run-scoped state of the migration controller: the sweep
@@ -149,6 +167,10 @@ func (f *Fleet) sweepUntil(mig *migrator, t float64) error {
 // moves, so a job the sweep itself migrates is never re-evaluated at its
 // destination within the same sweep.
 func (f *Fleet) sweep(mig *migrator, now float64) error {
+	// Stateful scorers (the fairness plugin) see every completion up to
+	// the sweep instant before any re-placement is scored, so sweeps
+	// repair fairness on the same signals arrivals are placed with.
+	f.observeCompletions()
 	snap := mig.snap[:0]
 	for i, m := range f.members {
 		if i < len(mig.snap) {
@@ -165,10 +187,10 @@ func (f *Fleet) sweep(mig *migrator, now float64) error {
 			if mig.cfg.MaxMovesPerSweep > 0 && sweepMoves >= mig.cfg.MaxMovesPerSweep {
 				return nil
 			}
-			// A job an earlier move's pump started, or the one the local
-			// policy has committed to (it holds the backfill reservation),
-			// is not re-placeable.
-			if j.Started() || j == m.committed {
+			// A job an earlier move's pump started is gone; the one the
+			// local policy has committed to (it holds the backfill
+			// reservation) moves only under MigrateCommitted.
+			if j.Started() || (j == m.committed && !mig.cfg.MigrateCommitted) {
 				continue
 			}
 			if inf := mig.info[j]; inf != nil {
@@ -196,8 +218,10 @@ func (f *Fleet) sweep(mig *migrator, now float64) error {
 // or resubmits it in place. Withdrawing before scoring keeps the job's own
 // footprint from biasing its current cluster's backlog signals.
 func (f *Fleet) tryMove(mig *migrator, src int, j *job.Job, now float64) (bool, error) {
-	if _, err := f.members[src].sim.Withdraw(j.ID); err != nil {
-		return false, fmt.Errorf("fleet: migrate from %s: %w", f.members[src].name, err)
+	srcM := f.members[src]
+	wasCommitted := srcM.committed == j
+	if _, err := srcM.sim.Withdraw(j.ID); err != nil {
+		return false, fmt.Errorf("fleet: migrate from %s: %w", srcM.name, err)
 	}
 	cands := f.candidates()
 	if cap(mig.scores) < len(cands) {
@@ -223,7 +247,10 @@ func (f *Fleet) tryMove(mig *migrator, src int, j *job.Job, now float64) (bool, 
 	if dst == src {
 		// Not worth moving: the resubmission restored the exact
 		// pre-withdraw state (pinned by sim's withdraw/resubmit parity
-		// test), so the probe is invisible to results.
+		// test), so the probe is invisible to results. A committed pick
+		// stays committed — re-picking here would let time-dependent
+		// policies (SJF/F1 over newer arrivals) change a decision sim.Run
+		// would have held, breaking ineffective-sweep parity.
 		return false, nil
 	}
 	inf := mig.info[j]
@@ -233,10 +260,21 @@ func (f *Fleet) tryMove(mig *migrator, src int, j *job.Job, now float64) (bool, 
 	}
 	inf.moves++
 	inf.lastMove = now
+	inf.times = append(inf.times, now)
 	mig.moves++
-	f.members[src].movedOut++
+	srcM.movedOut++
 	m.movedIn++
-	return true, m.pump()
+	if err := m.pump(); err != nil {
+		return true, err
+	}
+	if wasCommitted {
+		// The source's pick genuinely left: let its policy re-pick (and
+		// backfill) at this instant, exactly as sim.Run would after a
+		// queue change.
+		srcM.committed = nil
+		return true, srcM.pump()
+	}
+	return true, nil
 }
 
 // drainMigrating runs every member to completion after the last arrival,

@@ -125,11 +125,7 @@ next:
 	sub := raw[:len(feasible)]
 	for _, ws := range p.Scorers {
 		ws.Scorer.Score(j, feasCands, sub)
-		lo, hi := sub[0], sub[0]
-		for _, v := range sub[1:] {
-			lo = math.Min(lo, v)
-			hi = math.Max(hi, v)
-		}
+		lo, hi := scoreBounds(sub)
 		if span := hi - lo; span > 0 {
 			for k, i := range feasible {
 				total[i] += ws.Weight * (sub[k] - lo) / span
@@ -150,6 +146,20 @@ next:
 		}
 	}
 	return best
+}
+
+// scoreBounds returns the min and max of a non-empty score slice — the
+// shared first half of the min-max normalization both the pipeline (per
+// plugin, across feasible candidates) and the fairness scorer (its
+// internal baseline) apply. One implementation, so the two stretches
+// cannot silently diverge.
+func scoreBounds(vals []float64) (lo, hi float64) {
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
 }
 
 // CapacityFilter keeps only clusters physically large enough for the job.

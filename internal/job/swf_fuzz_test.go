@@ -1,0 +1,68 @@
+package job
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseSWF hardens the archive-trace loader against arbitrary input:
+// it must never panic, every job it accepts must validate, and one
+// write/parse cycle must reach a fixed point — re-writing what a parse
+// produced and parsing it again loses nothing. (The FIRST write may drop
+// jobs whose fractional fields round to unusable values — %.0f turns a
+// 0.4-second runtime into 0 — so the fixed-point property is asserted
+// from the first re-parse onward.) The seed corpus below is checked in
+// alongside testdata/fuzz, and CI runs this target as a short smoke.
+func FuzzParseSWF(f *testing.F) {
+	seeds := []string{
+		"; MaxProcs: 128\n; UnixStartTime: 0\n1 0 10 3600 4 -1 -1 4 7200 -1 1 3 1 2 1 1 -1 -1\n",
+		"1 0 -1 60 1 -1 -1 1 60 -1 1 0 0 0 1 1 -1 -1\n2 5 -1 30 2 -1 -1 2 40 -1 1 1 1 1 1 1 -1 -1\n",
+		"; comment only, no records\n",
+		"",
+		"not an swf line",
+		"1 2 3\n",
+		"1 0 0 0 0 -1 -1 0 0 -1 1 0 0 0 1 1 -1 -1\n",    // unusable: skipped
+		"1 0 0 60 4 -1 -1 0 0 -1 1 0 0 0 1 1 -1 -1\n",   // request fallbacks
+		"1 -5 0 60 1 -1 -1 1 60 -1 1 0 0 0 1 1 -1 -1\n", // negative submit: skipped
+		"1 0 0 1e3 1 -1 -1 1 2.5e2 -1 1 0 0 0 1 1 -1 -1\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, jobs, err := ParseSWF(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, j := range jobs {
+			if err := j.Validate(); err != nil {
+				t.Fatalf("job %d failed validation after an accepted parse: %v", i, err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteSWF(&buf, hdr, jobs); err != nil {
+			t.Fatalf("write of parsed jobs failed: %v", err)
+		}
+		_, again, err := ParseSWF(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of written output failed: %v\noutput:\n%s", err, buf.Bytes())
+		}
+		var buf2 bytes.Buffer
+		if err := WriteSWF(&buf2, hdr, again); err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		_, final, err := ParseSWF(bytes.NewReader(buf2.Bytes()))
+		if err != nil {
+			t.Fatalf("second re-parse failed: %v", err)
+		}
+		if len(final) != len(again) {
+			t.Fatalf("write/parse not a fixed point: %d jobs became %d", len(again), len(final))
+		}
+		for i := range final {
+			if final[i].ID != again[i].ID || final[i].RequestedProcs != again[i].RequestedProcs ||
+				final[i].UserID != again[i].UserID {
+				t.Fatalf("job %d drifted across the fixed point: %+v vs %+v", i, again[i], final[i])
+			}
+		}
+	})
+}

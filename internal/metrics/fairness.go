@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"sort"
+
+	"rlsched/internal/job"
+)
+
+// Per-user aggregation surface of the §V-F fairness goal, generalized to
+// fleets. FairMaxBoundedSlowdown is per-cluster in the paper; a fleet that
+// spreads one user's jobs across members can starve that user everywhere
+// while every individual cluster reports itself fair. PerUser and
+// FairnessOf operate on any job set — a single cluster's result, or the
+// concatenated Jobs of a Merge'd fleet result — so fleet-wide fairness is
+// first-class: Fairness(merged.Jobs, BoundedSlowdown) is the fleet view.
+
+// UserMean is one user's aggregate of a base metric: the number of started
+// jobs charged to the user and their mean metric value.
+type UserMean struct {
+	// UserID is the SWF user; jobs without user information (UserID < 0)
+	// aggregate into a single -1 bucket.
+	UserID int
+	// Jobs counts the user's started jobs.
+	Jobs int
+	// Mean is the user's average of the base metric over those jobs.
+	Mean float64
+}
+
+// PerUser computes every user's mean of the base metric over their started
+// jobs, sorted by UserID (deterministic output; the -1 unknown-user bucket
+// sorts first). Unstarted jobs are ignored, matching Value.
+func PerUser(jobs []*job.Job, base Kind) []UserMean {
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for _, j := range jobs {
+		if !j.Started() {
+			continue
+		}
+		u := j.UserID
+		if u < 0 {
+			u = -1
+		}
+		sums[u] += perJob(base, j)
+		counts[u]++
+	}
+	out := make([]UserMean, 0, len(sums))
+	for u, s := range sums {
+		out = append(out, UserMean{UserID: u, Jobs: counts[u], Mean: s / float64(counts[u])})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].UserID < out[k].UserID })
+	return out
+}
+
+// FairnessReport summarizes how evenly a base metric is distributed across
+// users: the extremes and spread of the per-user means, the max/mean ratio
+// (1 = perfectly even, larger = the worst user is that many times worse
+// than average), and Jain's fairness index (1 = perfectly even, 1/n = one
+// user absorbs everything).
+type FairnessReport struct {
+	// Users is the number of distinct user buckets observed.
+	Users int
+	// MaxUser is the UserID holding the worst (maximum) per-user mean.
+	MaxUser int
+	// Max, Min, Mean and Spread describe the per-user means: extremes,
+	// their unweighted average, and Max − Min.
+	Max, Min, Mean, Spread float64
+	// MaxMeanRatio is Max / Mean (1 when no users, or when Mean is 0).
+	MaxMeanRatio float64
+	// Jain is Jain's fairness index (Σx)² / (n·Σx²) over the per-user
+	// means (1 when no users, or when every mean is 0).
+	Jain float64
+}
+
+// FairnessOf summarizes a per-user aggregation (as produced by PerUser).
+// With no users the degenerate report has ratio and Jain 1 — nothing
+// observed is vacuously fair — and zero extremes.
+func FairnessOf(users []UserMean) FairnessReport {
+	r := FairnessReport{Users: len(users), MaxUser: -1, MaxMeanRatio: 1, Jain: 1}
+	if len(users) == 0 {
+		return r
+	}
+	sum, sumSq := 0.0, 0.0
+	r.Max, r.Min = users[0].Mean, users[0].Mean
+	r.MaxUser = users[0].UserID
+	for _, u := range users {
+		sum += u.Mean
+		sumSq += u.Mean * u.Mean
+		if u.Mean > r.Max {
+			r.Max, r.MaxUser = u.Mean, u.UserID
+		}
+		if u.Mean < r.Min {
+			r.Min = u.Mean
+		}
+	}
+	r.Mean = sum / float64(len(users))
+	r.Spread = r.Max - r.Min
+	if r.Mean > 0 {
+		r.MaxMeanRatio = r.Max / r.Mean
+	}
+	if sumSq > 0 {
+		r.Jain = sum * sum / (float64(len(users)) * sumSq)
+	}
+	return r
+}
+
+// Fairness computes the per-user fairness report of the base metric over
+// the job set: FairnessOf(PerUser(jobs, base)). Fleet-wide fairness is
+// Fairness over a Merge'd result's Jobs.
+func Fairness(jobs []*job.Job, base Kind) FairnessReport {
+	return FairnessOf(PerUser(jobs, base))
+}

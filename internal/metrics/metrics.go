@@ -132,24 +132,16 @@ func perJob(k Kind, j *job.Job) float64 {
 }
 
 // FairMax returns the maximum over users of the per-user average of the
-// given base metric. Jobs without user information form a single bucket.
+// given base metric (0 when nothing has started). Jobs without user
+// information (UserID < 0) form a single bucket. It is the Max of the full
+// per-user surface in fairness.go: Fairness(jobs, base) carries the same
+// value alongside Jain's index and the max/mean ratio.
 func FairMax(jobs []*job.Job, base Kind) float64 {
-	sums := map[int]float64{}
-	counts := map[int]int{}
-	for _, j := range jobs {
-		if !j.Started() {
-			continue
-		}
-		sums[j.UserID] += perJob(base, j)
-		counts[j.UserID]++
+	users := PerUser(jobs, base)
+	if len(users) == 0 {
+		return 0
 	}
-	max := 0.0
-	for u, s := range sums {
-		if avg := s / float64(counts[u]); avg > max {
-			max = avg
-		}
-	}
-	return max
+	return FairnessOf(users).Max
 }
 
 // Merge combines per-cluster scheduling results into one fleet-wide

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzParseRequest is the differential harness for the hand-rolled fast
+// parser: on any input, neither parse path may panic, and whenever BOTH
+// the fast path and the encoding/json path accept a body they must
+// produce identical states (the fast parser is deliberately lenient about
+// a few non-JSON spellings like leading zeros, so fast-accepts-json-
+// rejects is allowed; the reverse direction — json accepting a canonical
+// compact body the fast parser mangles — is what this hunts). The seed
+// corpus is checked in under testdata/fuzz and CI runs this target as a
+// short smoke.
+func FuzzParseRequest(f *testing.F) {
+	seeds := []string{
+		`{"now":0,"free_procs":96,"total_procs":128,"jobs":[[0,3600,4],[5,60,2,7],[9,30,1,2,11]]}`,
+		`{"states":[{"now":1,"free_procs":8,"total_procs":8,"jobs":[[0,10,1]]},{"jobs":[[0,20,2]],"total_procs":16,"free_procs":0}]}`,
+		`{"jobs":[],"total_procs":4,"free_procs":4}`,
+		`{"now":-30.5,"queue_len":200,"scores":true,"total_procs":64,"free_procs":1,"jobs":[[-100,1e3,4]]}`,
+		`{"jobs":[{"id":7,"submit_time":-30,"requested_time":3600,"requested_procs":4,"user_id":2}],"total_procs":128,"free_procs":96}`,
+		`{"states":[]}`,
+		`{}`,
+		`{"now":}`,
+		` { "now" : 5 , "jobs" : [ [ 1 , 2 , 3 ] ] , "total_procs" : 9 , "free_procs" : 2 } `,
+		`[1,2,3]`,
+		`garbage`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fast := &reqBuf{}
+		fastErr := fast.parseFast(data)
+		slow := &reqBuf{}
+		slowErr := slow.parseSlow(data)
+		if fastErr != nil || slowErr != nil {
+			return
+		}
+		if fast.batch != slow.batch {
+			t.Fatalf("batch flag diverges: fast %v, slow %v", fast.batch, slow.batch)
+		}
+		if len(fast.states) != len(slow.states) {
+			t.Fatalf("state count diverges: fast %d, slow %d", len(fast.states), len(slow.states))
+		}
+		for i := range fast.states {
+			fs, ss := &fast.states[i], &slow.states[i]
+			if fs.Now != ss.Now || fs.View != ss.View || fs.QueueLen != ss.QueueLen || fs.WantScores != ss.WantScores {
+				t.Fatalf("state %d header diverges: fast %+v, slow %+v", i, fs, ss)
+			}
+			fStart, fEnd := fast.ranges[2*i], fast.ranges[2*i+1]
+			sStart, sEnd := slow.ranges[2*i], slow.ranges[2*i+1]
+			if fEnd-fStart != sEnd-sStart {
+				t.Fatalf("state %d job count diverges: fast %d, slow %d", i, fEnd-fStart, sEnd-sStart)
+			}
+			for k := 0; k < fEnd-fStart; k++ {
+				fj, sj := &fast.arena[fStart+k], &slow.arena[sStart+k]
+				if fj.ID != sj.ID || fj.SubmitTime != sj.SubmitTime ||
+					fj.RequestedTime != sj.RequestedTime ||
+					fj.RequestedProcs != sj.RequestedProcs || fj.UserID != sj.UserID ||
+					fj.StartTime != sj.StartTime || fj.EndTime != sj.EndTime {
+					t.Fatalf("state %d job %d diverges: fast %+v, slow %+v", i, k, *fj, *sj)
+				}
+			}
+		}
+	})
+}

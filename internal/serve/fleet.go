@@ -57,6 +57,9 @@ func (s *Server) initFleet(cfg Config) error {
 		if cfg.Migrate {
 			return fmt.Errorf("serve: -migrate needs fleet shards")
 		}
+		if cfg.FairWeight != 0 {
+			return fmt.Errorf("serve: fairness placement needs fleet shards")
+		}
 		return nil
 	}
 	if cfg.Migrate {
@@ -125,6 +128,18 @@ func (s *Server) initFleet(cfg Config) error {
 	default:
 		return fmt.Errorf("serve: unknown place router %q (engine|least-loaded|binpack)", router)
 	}
+	if !(cfg.FairWeight >= 0) {
+		return fmt.Errorf("serve: fairness weight must be non-negative, got %g", cfg.FairWeight)
+	}
+	if cfg.FairWeight > 0 {
+		// The stateful per-user fairness plugin rides on the selected
+		// pipeline. Its state grows from the completed-job records clusters
+		// post with /place — the serving twin of the fleet simulator's
+		// completion feed — and is exported as rlserv_fairness_score.
+		s.fairness = fleet.NewFairnessScorer(fleet.FairnessConfig{})
+		s.placer.Scorers = append(s.placer.Scorers,
+			fleet.WeightedScorer{Scorer: s.fairness, Weight: cfg.FairWeight})
+	}
 	return nil
 }
 
@@ -192,9 +207,13 @@ func (sc *shardEngineScorer) Score(j *job.Job, cands []*fleet.Candidate, out []f
 
 // placeCluster is one cluster's state in a /place request: a named queue
 // state. Unlike /v1/decide states, an empty jobs list is legal (an idle
-// cluster is the best possible placement).
+// cluster is the best possible placement). Completed carries the jobs the
+// cluster finished since its last report — the fairness tracker's
+// incremental feed (ignored unless the daemon runs with a fairness
+// weight).
 type placeCluster struct {
-	Name string `json:"name"`
+	Name      string     `json:"name"`
+	Completed []wireDone `json:"completed"`
 	wireState
 }
 
@@ -241,6 +260,49 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	jv := req.Job.toJob()
 	j := &jv
+	if s.fairness != nil {
+		// The tracker is persistent state: a batch that is half-folded
+		// when the request errors out would be double-counted when the
+		// client repairs and re-posts it. So EVERY rejection — bad
+		// records (400) and infeasible jobs (422, pre-checked here
+		// against the pipeline's own filters, which is exactly the
+		// PlaceScored < 0 condition) — must fire before any Observe.
+		feasible := false
+	next:
+		for _, c := range cands {
+			for _, flt := range s.placer.Filters {
+				if !flt.Feasible(j, c) {
+					continue next
+				}
+			}
+			feasible = true
+			break
+		}
+		if !feasible {
+			s.fail(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("serve: job (%d procs) fits no cluster", j.RequestedProcs))
+			return
+		}
+		for i := range req.Clusters {
+			pc := &req.Clusters[i]
+			for k := range pc.Completed {
+				if wd := &pc.Completed[k]; wd.Wait < 0 || wd.Run < 0 {
+					s.fail(w, http.StatusBadRequest,
+						fmt.Errorf("serve: cluster %q completed job %d needs non-negative wait and run_time", pc.Name, k))
+					return
+				}
+			}
+		}
+		// Fold them in before scoring, so the placement below already
+		// sees them.
+		for i := range req.Clusters {
+			pc := &req.Clusters[i]
+			for k := range pc.Completed {
+				dj := pc.Completed[k].toJob()
+				s.fairness.Observe(cands[i].Index, &dj)
+			}
+		}
+	}
 	scores := make([]float64, len(cands))
 	pick := s.placer.PlaceScored(j, cands, scores)
 	if pick < 0 {
@@ -256,6 +318,18 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	resp = strconv.AppendInt(resp, int64(cands[pick].Index), 10)
 	resp = append(resp, `,"router":`...)
 	resp = strconv.AppendQuote(resp, s.placer.Name())
+	if s.fairness != nil {
+		// Per-user state exposure: the tracked service of the job's user
+		// against the all-user mean, as the fairness plugin saw it.
+		userMean, jobs, fleetMean := s.fairness.UserState(j.UserID)
+		resp = append(resp, `,"fairness":{"user_mean_bsld":`...)
+		resp = strconv.AppendFloat(resp, userMean, 'g', 6, 64)
+		resp = append(resp, `,"user_jobs":`...)
+		resp = strconv.AppendInt(resp, int64(jobs), 10)
+		resp = append(resp, `,"fleet_mean_bsld":`...)
+		resp = strconv.AppendFloat(resp, fleetMean, 'g', 6, 64)
+		resp = append(resp, '}')
+	}
 	resp = append(resp, `,"scores":`...)
 	resp = appendScoresJSON(resp, cands, scores)
 	resp = append(resp, '}', '\n')

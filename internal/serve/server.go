@@ -52,6 +52,13 @@ type Config struct {
 	// rlservd flag defaults to 0.25, the fleet controller's recommended
 	// policy.
 	MigrateMargin float64
+	// FairWeight, when positive, adds the stateful per-user fairness
+	// plugin (fleet.FairnessScorer) to the /place pipeline with this
+	// weight. The plugin's per-user bounded-slowdown shares grow from the
+	// "completed" records clusters post with their /place states; the
+	// aggregate view is exported as rlserv_fairness_score in /metrics and
+	// each /place response carries the job's user state. Fleet mode only.
+	FairWeight float64
 }
 
 // Server is the decision service: an Engine behind a Batcher behind an
@@ -66,11 +73,13 @@ type Server struct {
 	reloadMu  sync.Mutex // serializes /reload (swap itself is atomic)
 
 	// Fleet mode (nil/empty otherwise): per-cluster shards, the
-	// placement pipeline behind POST /place, and the /migrate hysteresis
-	// (negative = endpoint disabled).
+	// placement pipeline behind POST /place, the /migrate hysteresis
+	// (negative = endpoint disabled), and the per-user fairness tracker
+	// (nil unless FairWeight > 0).
 	shards        []*shard
 	placer        *fleet.Pipeline
 	migrateMargin float64
+	fairness      *fleet.FairnessScorer
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -294,6 +303,17 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteProm(w, s.batcher.Engine().Name())
+	if s.fairness != nil {
+		// The fairness tracker's live view of per-user service: Jain's
+		// index and worst-user stats over the tracked bounded-slowdown
+		// means (1/1/0 until any completions have been posted).
+		rep := s.fairness.Report()
+		fmt.Fprintf(w, "# TYPE rlserv_fairness_score gauge\n")
+		fmt.Fprintf(w, "rlserv_fairness_score{stat=%q} %g\n", "jain", rep.Jain)
+		fmt.Fprintf(w, "rlserv_fairness_score{stat=%q} %g\n", "max_mean_ratio", rep.MaxMeanRatio)
+		fmt.Fprintf(w, "rlserv_fairness_score{stat=%q} %g\n", "max_user_bsld", rep.Max)
+		fmt.Fprintf(w, "rlserv_fairness_score{stat=%q} %d\n", "users", rep.Users)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -89,6 +89,60 @@ func (w *wireJob) toJob() job.Job {
 	}
 }
 
+// wireDone is a completed-job record posted with /place cluster states to
+// feed the daemon's per-user fairness tracker (fleet mode with a fairness
+// weight): either {"user_id": u, "wait": w, "run_time": r} or a compact
+// [user, wait, run] array, both in seconds. The daemon folds each record
+// into the posting cluster's per-user bounded-slowdown share before
+// scoring the request's job.
+type wireDone struct {
+	UserID int     `json:"user_id"`
+	Wait   float64 `json:"wait"`
+	Run    float64 `json:"run_time"`
+}
+
+// UnmarshalJSON accepts {"user_id": ...} objects and [user, wait, run]
+// arrays.
+func (w *wireDone) UnmarshalJSON(b []byte) error {
+	w.UserID = -1
+	for _, c := range b {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '[':
+			var row []float64
+			if err := json.Unmarshal(b, &row); err != nil {
+				return err
+			}
+			if len(row) != 3 {
+				return fmt.Errorf("serve: compact completed row wants 3 values, got %d", len(row))
+			}
+			w.UserID, w.Wait, w.Run = int(row[0]), row[1], row[2]
+			return nil
+		default:
+			type alias wireDone
+			a := alias(*w)
+			if err := json.Unmarshal(b, &a); err != nil {
+				return err
+			}
+			*w = wireDone(a)
+			return nil
+		}
+	}
+	return fmt.Errorf("serve: empty completed spec")
+}
+
+// toJob converts the record into a finished job the fairness tracker can
+// observe: submitted at 0, started after Wait, ran for Run.
+func (w *wireDone) toJob() job.Job {
+	return job.Job{
+		UserID:    w.UserID,
+		RunTime:   w.Run,
+		StartTime: w.Wait,
+		EndTime:   w.Wait + w.Run,
+	}
+}
+
 // wireState is one queue state on the wire.
 type wireState struct {
 	Now        float64   `json:"now"`
@@ -168,6 +222,14 @@ func (rb *reqBuf) parseRequest(body []byte) error {
 	if err := rb.parseFast(body); err == nil {
 		return nil
 	}
+	return rb.parseSlow(body)
+}
+
+// parseSlow is the encoding/json catch-all path. It accepts every valid
+// JSON request; the fast parser accepts a superset of the canonical
+// compact bodies and must agree with this path on anything both accept
+// (pinned by the FuzzParseRequest differential).
+func (rb *reqBuf) parseSlow(body []byte) error {
 	rb.arena = rb.arena[:0]
 	rb.states = rb.states[:0]
 	rb.ranges = rb.ranges[:0]

@@ -92,6 +92,7 @@ type Simulator struct {
 	pending    []*job.Job // arrived, not started (FCFS order)
 	running    runHeap
 	completed  int
+	done       []*job.Job // append-only completion log, in completion order
 	now        float64
 	userProcs  map[int]int // processors currently held per user
 }
@@ -128,6 +129,7 @@ func (s *Simulator) Load(seq []*job.Job) error {
 	s.pending = s.pending[:0]
 	s.running = s.running[:0]
 	s.completed = 0
+	s.done = s.done[:0]
 	s.now = 0
 	s.userProcs = map[int]int{}
 	s.cluster.Reset()
@@ -208,6 +210,7 @@ func (s *Simulator) advanceTo(t float64) {
 				s.userProcs[j.UserID] -= j.RequestedProcs
 			}
 			s.completed++
+			s.done = append(s.done, j)
 		case 2:
 			s.pending = append(s.pending, s.seq[s.arrivalIdx])
 			s.arrivalIdx++

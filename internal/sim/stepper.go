@@ -179,6 +179,14 @@ func (s *Simulator) BackfillNow(chosen *job.Job) {
 // events remain).
 func (s *Simulator) Result() metrics.Result { return s.result() }
 
+// Completions returns the append-only log of jobs that have finished
+// executing, in completion order, since the last Load. Incremental
+// consumers (the fleet's stateful fairness plugin) keep their own cursor
+// into it and read only the tail: the log never reorders or shrinks while
+// a run is in progress, and a new Load starts it empty. The returned slice
+// aliases the simulator's log — read, don't mutate.
+func (s *Simulator) Completions() []*job.Job { return s.done }
+
 // UtilizationOver reports the busy fraction over an explicit horizon —
 // the hook for fleet-wide aggregation, where every member must be
 // measured over the same [start, end] window rather than its own
