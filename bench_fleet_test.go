@@ -7,17 +7,17 @@ import (
 	"rlsched/internal/fleet"
 	"rlsched/internal/job"
 	"rlsched/internal/nn"
+	"rlsched/internal/obs"
 	"rlsched/internal/sim"
 	"rlsched/internal/trace"
 )
 
-// BenchmarkFleetPlace measures the placement-decision hot path: one
-// filter/score pipeline pass (capacity predicate, RL marginal-impact
-// scorer through the graph-free inference path, queue-wait prior) over an
-// 8-cluster heterogeneous fleet snapshot. placements/s is the headline
-// number of the placement subsystem — the rate one fleet router shard can
-// route arriving jobs.
-func BenchmarkFleetPlace(b *testing.B) {
+// fleetPlaceFixture builds the shared placement benchmark scene: the RL
+// pipeline (capacity predicate, RL marginal-impact scorer through the
+// graph-free inference path, queue-wait prior), an 8-cluster
+// heterogeneous fleet snapshot and a rotation of arriving jobs.
+func fleetPlaceFixture(b *testing.B) (*fleet.Pipeline, []*fleet.Candidate, []*job.Job) {
+	b.Helper()
 	const maxObs = sim.DefaultMaxObserve
 	rng := rand.New(rand.NewSource(21))
 	net := nn.NewKernelNet(rng, maxObs, sim.JobFeatures, nil)
@@ -55,7 +55,17 @@ func BenchmarkFleetPlace(b *testing.B) {
 			jobs[i].RequestedProcs = 256
 		}
 	}
+	return pipeline, cands, jobs
+}
 
+// BenchmarkFleetPlace measures the placement-decision hot path: one
+// filter/score pipeline pass over the 8-cluster snapshot. placements/s is
+// the headline number of the placement subsystem — the rate one fleet
+// router shard can route arriving jobs. This is the recorder-off path; a
+// no-op recorder must stay within a few percent of it (see
+// BenchmarkFleetPlaceExplained).
+func BenchmarkFleetPlace(b *testing.B) {
+	pipeline, cands, jobs := fleetPlaceFixture(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -64,5 +74,43 @@ func BenchmarkFleetPlace(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "placements/s")
+	rate := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(rate, "placements/s")
+	writeBenchSnapshot(b, "fleetplace", map[string]float64{"placements_per_s": rate})
+}
+
+// BenchmarkFleetPlaceExplained is the same placement pass with a decision
+// trace captured per placement — a reused obs.Explain and a no-op
+// recorder, exactly the shape Fleet.Run uses with a recorder attached.
+// Its gap to BenchmarkFleetPlace is the observability overhead a traced
+// fleet run pays.
+func BenchmarkFleetPlaceExplained(b *testing.B) {
+	pipeline, cands, jobs := fleetPlaceFixture(b)
+	var ex obs.Explain
+	var rec obs.Recorder = obs.Nop{}
+	scores := make([]float64, len(cands))
+	var evt obs.PlacementDecision
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := jobs[i%len(jobs)]
+		k := pipeline.PlaceExplained(j, cands, scores, &ex)
+		if k < 0 {
+			b.Fatal("placement failed")
+		}
+		evt = obs.PlacementDecision{
+			Time:       j.SubmitTime,
+			Router:     pipeline.Name(),
+			Job:        obs.Ref(j),
+			Winner:     k,
+			Cluster:    cands[k].Name,
+			TieBreak:   ex.TieBreak,
+			Candidates: ex.Candidates,
+		}
+		rec.Placement(&evt)
+	}
+	b.StopTimer()
+	rate := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(rate, "placements/s")
+	writeBenchSnapshot(b, "fleetplace_explained", map[string]float64{"placements_per_s": rate})
 }

@@ -51,7 +51,7 @@ func newBenchServer(b *testing.B, policyName string) *httptest.Server {
 	return ts
 }
 
-func benchServeDecide(b *testing.B, policyName string, statesPerReq int) {
+func benchServeDecide(b *testing.B, snapName, policyName string, statesPerReq int) {
 	ts := newBenchServer(b, policyName)
 	states, err := serve.SyntheticStates("Lublin-1", statesPerReq, sim.DefaultMaxObserve, 42)
 	if err != nil {
@@ -84,19 +84,23 @@ func benchServeDecide(b *testing.B, policyName string, statesPerReq int) {
 	// Each decision places exactly one job, so jobs/s mirrors decisions/s;
 	// reporting both keeps BENCH_*.json comparable with the training-epoch
 	// benchmark's throughput trajectory.
+	b.StopTimer()
 	rate := float64(b.N) * float64(statesPerReq) / b.Elapsed().Seconds()
 	b.ReportMetric(rate, "decisions/s")
 	b.ReportMetric(rate, "jobs/s")
+	writeBenchSnapshot(b, snapName, map[string]float64{"decisions_per_s": rate})
 }
 
 // BenchmarkServeDecide is the single-request latency of one 128-job
 // decision through the kernel policy network.
-func BenchmarkServeDecide(b *testing.B) { benchServeDecide(b, "", 1) }
+func BenchmarkServeDecide(b *testing.B) { benchServeDecide(b, "servedecide", "", 1) }
 
 // BenchmarkServeDecideBatched pipelines 16 queue states per request — the
 // batched-throughput shape the load generator uses.
-func BenchmarkServeDecideBatched(b *testing.B) { benchServeDecide(b, "", 16) }
+func BenchmarkServeDecideBatched(b *testing.B) { benchServeDecide(b, "servedecide_batched", "", 16) }
 
 // BenchmarkServeDecideHeuristic serves SJF instead of the network,
 // isolating the HTTP+parse overhead from the forward pass.
-func BenchmarkServeDecideHeuristic(b *testing.B) { benchServeDecide(b, "SJF", 1) }
+func BenchmarkServeDecideHeuristic(b *testing.B) {
+	benchServeDecide(b, "servedecide_heuristic", "SJF", 1)
+}

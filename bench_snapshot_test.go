@@ -1,0 +1,27 @@
+package main_test
+
+import (
+	"os"
+	"testing"
+
+	"rlsched/internal/obs"
+)
+
+// writeBenchSnapshot emits a machine-readable BENCH_<name>.json for one
+// benchmark run into $RLSCHED_BENCH_JSON (no-op when the variable is
+// unset, so ordinary `go test -bench` runs stay file-free). Call after
+// b.StopTimer() so the write never lands inside the measured region.
+func writeBenchSnapshot(b *testing.B, name string, metrics map[string]float64) {
+	b.Helper()
+	dir := os.Getenv(obs.BenchJSONEnv)
+	if dir == "" {
+		return
+	}
+	snap := obs.NewBenchSnapshot(name, b.N,
+		float64(b.Elapsed().Nanoseconds())/float64(b.N), metrics)
+	if path, err := snap.WriteFile(dir); err != nil {
+		b.Fatalf("bench snapshot: %v", err)
+	} else {
+		b.Logf("bench snapshot: wrote %s", path)
+	}
+}

@@ -95,9 +95,12 @@ func BenchmarkTable9TrainingEpoch(b *testing.B) {
 	// One scheduling decision places one job, so the two rates coincide
 	// here; both are reported so BENCH_*.json tracks training throughput
 	// in the same units as the serving benchmarks.
+	b.StopTimer()
 	steps := float64(b.N) * float64(o.TrajPerEpoch) * float64(o.SeqLen)
-	b.ReportMetric(steps/b.Elapsed().Seconds(), "jobs/s")
-	b.ReportMetric(steps/b.Elapsed().Seconds(), "decisions/s")
+	rate := steps / b.Elapsed().Seconds()
+	b.ReportMetric(rate, "jobs/s")
+	b.ReportMetric(rate, "decisions/s")
+	writeBenchSnapshot(b, "trainepoch", map[string]float64{"jobs_per_s": rate})
 }
 
 // --- Figures ---

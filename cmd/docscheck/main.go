@@ -39,6 +39,7 @@ var godocTargets = []struct {
 }{
 	{dir: "internal/fleet"},
 	{dir: "internal/metrics"},
+	{dir: "internal/obs"},
 	{dir: "internal/sim", file: "stepper.go"},
 }
 

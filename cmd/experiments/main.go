@@ -21,11 +21,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"rlsched/internal/exp"
 	"rlsched/internal/serve"
 )
+
+// perIDPath dedicates a per-experiment output file when several experiments
+// run in one invocation: "out.json" → "out.table5.json".
+func perIDPath(path, id string, many bool) string {
+	if path == "" || !many {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + id + ext
+}
 
 func main() {
 	run := flag.String("run", "", "experiment id (e.g. table5, fig8) or 'all'")
@@ -43,6 +55,10 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel rollout workers for training runs (0 = GOMAXPROCS)")
 	migrate := flag.String("migrate", "",
 		"cross-cluster migration policy for fleet experiments: off|hysteresis|always")
+	tracePath := flag.String("trace", "",
+		"write a Chrome trace-event / Perfetto timeline of a representative fleet run here (fleet experiments; open at ui.perfetto.dev)")
+	reportPath := flag.String("report", "",
+		"write a machine-readable run report (scenario, seeds, metrics, phase timings) as JSON here")
 	loadgen := flag.String("loadgen", "", "load-generator mode: base URL of a running rlservd")
 	loadDur := flag.Duration("load-duration", 5*time.Second, "loadgen measurement window")
 	loadConns := flag.Int("load-conns", 4, "loadgen concurrent connections")
@@ -127,6 +143,8 @@ func main() {
 		ids = exp.IDs()
 	}
 	for _, id := range ids {
+		o.TracePath = perIDPath(*tracePath, id, len(ids) > 1)
+		o.ReportPath = perIDPath(*reportPath, id, len(ids) > 1)
 		start := time.Now()
 		arts, err := exp.Run(id, o)
 		if err != nil {

@@ -136,6 +136,13 @@ func main() {
 	fairWeight := flag.Float64("fair-weight", 0,
 		"fleet mode: weight of the per-user fairness plugin in the /place pipeline (0 disables); "+
 			"clusters feed it by posting completed jobs with their /place states")
+	fairWindow := flag.Float64("fair-window", 0,
+		"fleet mode: decay the fairness tracker's shares over roughly this many completions "+
+			"(0 = full history; needs -fair-weight)")
+	pprofOn := flag.Bool("pprof", false,
+		"mount the net/http/pprof profiling handlers under /debug/pprof/")
+	decisionLog := flag.Int("decision-log", 0,
+		"fleet mode: /debug/decisions ring size (0 = default 256, negative disables)")
 	flag.Parse()
 
 	srv, err := serve.NewServer(serve.Config{
@@ -149,6 +156,9 @@ func main() {
 		Migrate:       *migrate,
 		MigrateMargin: *migrateMargin,
 		FairWeight:    *fairWeight,
+		FairWindow:    *fairWindow,
+		Pprof:         *pprofOn,
+		DecisionLog:   *decisionLog,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rlservd: %v\n", err)

@@ -5,16 +5,23 @@
 //
 //	schedsim -preset Lublin-1 -jobs 2000 -nseq 10 -seqlen 1024 -backfill
 //	schedsim -trace my.swf -model model.json
+//	schedsim -preset Lublin-1 -trace-out timeline.json   # Perfetto timeline
+//
+// -trace-out additionally replays one sampled sequence under the first
+// scheduler with an observability recorder attached and writes the job
+// timeline as Chrome trace-event JSON (open at https://ui.perfetto.dev).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"text/tabwriter"
 
 	"rlsched/internal/core"
 	"rlsched/internal/metrics"
+	"rlsched/internal/obs"
 	"rlsched/internal/sched"
 	"rlsched/internal/sim"
 	"rlsched/internal/trace"
@@ -30,6 +37,8 @@ func main() {
 	backfill := flag.Bool("backfill", false, "enable EASY backfilling")
 	maxObs := flag.Int("maxobs", sim.DefaultMaxObserve, "scheduler-visible queue size")
 	model := flag.String("model", "", "saved RL model JSON to include as a scheduler")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome trace-event / Perfetto timeline of one replayed sequence here")
 	flag.Parse()
 
 	var tr *trace.Trace
@@ -92,6 +101,34 @@ func main() {
 		fmt.Fprintln(w)
 	}
 	w.Flush()
+
+	if *traceOut != "" {
+		if err := writeTimeline(tr, entries[0].name, entries[0].s,
+			*seqlen, *seed, *backfill, *maxObs, *traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "schedsim: wrote %s timeline of %q to %s (open at https://ui.perfetto.dev)\n",
+			entries[0].name, tr.Name, *traceOut)
+	}
+}
+
+// writeTimeline replays one sampled sequence under the given scheduler
+// with a collector attached and exports the job spans as a Chrome
+// trace-event timeline.
+func writeTimeline(tr *trace.Trace, name string, s sim.Scheduler,
+	seqlen int, seed int64, backfill bool, maxObs int, path string) error {
+	rng := rand.New(rand.NewSource(seed))
+	window := tr.SampleWindow(rng, seqlen)
+	sm := sim.New(sim.Config{Processors: tr.Processors, Backfill: backfill, MaxObserve: maxObs})
+	col := obs.NewCollector()
+	sm.SetRecorder(col, fmt.Sprintf("%s/%s", tr.Name, name))
+	if err := sm.Load(window); err != nil {
+		return err
+	}
+	if _, err := sm.Run(s); err != nil {
+		return err
+	}
+	return col.WriteChromeTraceFile(path)
 }
 
 func fatal(err error) {

@@ -11,8 +11,10 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"rlsched/internal/metrics"
+	"rlsched/internal/obs"
 	"rlsched/internal/rl"
 	"rlsched/internal/trace"
 )
@@ -46,6 +48,37 @@ type Options struct {
 	// placement), "hysteresis", or "always" (see internal/fleet and the
 	// fleet-migration experiment, which always compares all three).
 	Migrate string
+	// TracePath, when set, makes trace-capable experiments (the fleet
+	// experiments) record one representative run through an obs.Collector
+	// and write it as a Chrome trace-event / Perfetto timeline. Recording
+	// is passive: artifacts are byte-identical with and without it.
+	TracePath string
+	// ReportPath, when set, makes Run write an obs.RunReport (scenario,
+	// seed, per-policy metrics, fairness, wall-clock phase timings) as
+	// indented JSON after a successful run.
+	ReportPath string
+
+	// report is the active run-report sink Run installs when ReportPath
+	// is set; runners feed it through phase and addResult.
+	report *obs.RunReport
+}
+
+// phase starts a wall-clock timing of one labelled run stage; call the
+// returned func when the stage completes. A no-op without a report sink,
+// and never observable in artifacts — timings go only to the report.
+func (o Options) phase(name string) func() {
+	if o.report == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { o.report.AddPhase(name, time.Since(start).Seconds()) }
+}
+
+// addResult appends one result summary row to the run report, if any.
+func (o Options) addResult(name string, res metrics.Result) {
+	if o.report != nil {
+		o.report.AddResult(name, res)
+	}
 }
 
 // Quick returns CI-scale options: minutes, not hours.
@@ -231,13 +264,29 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes the experiment by ID.
+// Run executes the experiment by ID. With Options.ReportPath set, a
+// successful run additionally writes an obs.RunReport capturing the
+// configuration, per-policy result summaries and wall-clock phase timings.
 func Run(id string, o Options) ([]Artifact, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r(o)
+	if o.ReportPath == "" {
+		return r(o)
+	}
+	o.report = obs.NewRunReport(id, o.Seed)
+	start := time.Now()
+	arts, err := r(o)
+	if err != nil {
+		return arts, err
+	}
+	o.report.WallSeconds = time.Since(start).Seconds()
+	o.report.Options = o
+	if err := o.report.WriteFile(o.ReportPath); err != nil {
+		return arts, fmt.Errorf("exp: write report: %w", err)
+	}
+	return arts, nil
 }
 
 func fmtVal(goal metrics.Kind, v float64) string {

@@ -6,6 +6,7 @@ import (
 
 	"rlsched/internal/fleet"
 	"rlsched/internal/metrics"
+	"rlsched/internal/obs"
 	"rlsched/internal/sched"
 	"rlsched/internal/sim"
 	"rlsched/internal/trace"
@@ -67,10 +68,12 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 		return nil, err
 	}
 	cache := newTraceCache(o)
+	doneTrain := o.phase("train")
 	agent, _, err := trainRL(cache, o, "Lublin-1", metrics.BoundedSlowdown, false, false)
 	if err != nil {
 		return nil, err
 	}
+	doneTrain()
 	rlSched := agent.Scheduler()
 
 	type routerCase struct {
@@ -88,12 +91,18 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 	scenarios := []string{"steady (Lublin-1)", "workload shift (Lublin-1 → Lublin-2)"}
 	var arts []Artifact
 	deterministic := true
+	// With -trace set, the rl-scored router's determinism re-run carries a
+	// collector: the assignment comparison below then doubles as a
+	// recorder-parity check, and the last scenario's recording becomes the
+	// exported timeline.
+	var timeline *obs.Collector
 	for si, scenario := range scenarios {
 		t := &Table{
 			Title:  fmt.Sprintf("Fleet placement, %s: %d × %d-job streams over [256 RL, 128 SJF, 64 F1]", scenario, o.EvalNSeq, o.EvalSeqLen),
 			Header: []string{"Router", "fleet bsld", "fleet util", "large/mid/small"},
 		}
 		for _, rc := range routers {
+			donePhase := o.phase(fmt.Sprintf("evaluate/%s/%s", scenario, rc.name))
 			router, err := rc.build()
 			if err != nil {
 				return nil, err
@@ -157,6 +166,10 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 					}
 				}
 			}
+			if o.TracePath != "" && rc.name == "rl-scored" {
+				timeline = obs.NewCollector()
+				f2.SetRecorder(timeline)
+			}
 			res2, err := f2.Run(again.Jobs)
 			if err != nil {
 				return nil, err
@@ -166,11 +179,13 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 					deterministic = false
 				}
 			}
+			o.addResult(fmt.Sprintf("%s/%s", scenario, rc.name), res2.Fleet)
 			n := float64(len(streams))
 			t.AddRow(rc.name,
 				fmt.Sprintf("%.2f", bsldSum/n),
 				fmt.Sprintf("%.3f", utilSum/n),
 				fmt.Sprintf("%d/%d/%d", counts[0], counts[1], counts[2]))
+			donePhase()
 		}
 		if si == 0 {
 			t.Notes = append(t.Notes,
@@ -186,6 +201,11 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 	last.Notes = append(last.Notes, note)
 	if !deterministic {
 		return arts, fmt.Errorf("fleet-placement: assignments were not deterministic")
+	}
+	if timeline != nil {
+		if err := timeline.WriteChromeTraceFile(o.TracePath); err != nil {
+			return nil, fmt.Errorf("fleet-placement: write trace: %w", err)
+		}
 	}
 	return arts, nil
 }

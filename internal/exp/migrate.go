@@ -6,6 +6,7 @@ import (
 	"rlsched/internal/fleet"
 	"rlsched/internal/job"
 	"rlsched/internal/metrics"
+	"rlsched/internal/obs"
 	"rlsched/internal/sched"
 	"rlsched/internal/sim"
 	"rlsched/internal/trace"
@@ -116,12 +117,27 @@ func FleetMigration(o Options) ([]Artifact, error) {
 		Header: []string{"Policy", "fleet bsld", "fleet util", "moves", "migrated", "mean delay", "bsld mig/native"},
 	}
 	bslds := map[string]float64{}
+	// With -trace set, every hysteresis stream runs with its own collector
+	// attached and the first recording that contains an actual move becomes
+	// the exported timeline (falling back to the first stream when nothing
+	// moved). Recording is passive (pinned by parity tests), so the table
+	// is unaffected.
+	var timeline *obs.Collector
+	hasMove := func(c *obs.Collector) bool {
+		for _, p := range c.Migrations() {
+			if p.Moved {
+				return true
+			}
+		}
+		return false
+	}
 	for _, pol := range policies {
+		donePhase := o.phase("evaluate/" + pol.name)
 		streams := migrationStreams(o, cache.get("Lublin-1"), cache.get("Lublin-2"))
 		var bsldSum, utilSum, delaySum float64
 		var moves, migrated, native int
 		var migBsldSum, natBsldSum float64
-		for _, stream := range streams {
+		for si, stream := range streams {
 			f, err := fleet.New(migrationMembers(o), fleet.LeastLoadedPipeline())
 			if err != nil {
 				return nil, err
@@ -131,10 +147,19 @@ func FleetMigration(o Options) ([]Artifact, error) {
 					return nil, err
 				}
 			}
+			var col *obs.Collector
+			if o.TracePath != "" && pol.name == "hysteresis" {
+				col = obs.NewCollector()
+				f.SetRecorder(col)
+			}
 			res, err := f.Run(stream)
 			if err != nil {
 				return nil, fmt.Errorf("fleet-migration: %s: %w", pol.name, err)
 			}
+			if col != nil && (timeline == nil || (!hasMove(timeline) && hasMove(col))) {
+				timeline = col
+			}
+			o.addResult(fmt.Sprintf("%s/stream%d", pol.name, si), res.Fleet)
 			bsldSum += metrics.Value(metrics.BoundedSlowdown, res.Fleet)
 			utilSum += res.Fleet.Utilization
 			moves += res.Fleet.Moves
@@ -167,6 +192,12 @@ func FleetMigration(o Options) ([]Artifact, error) {
 			fmt.Sprintf("%d", migrated),
 			delay,
 			split)
+		donePhase()
+	}
+	if timeline != nil {
+		if err := timeline.WriteChromeTraceFile(o.TracePath); err != nil {
+			return nil, fmt.Errorf("fleet-migration: write trace: %w", err)
+		}
 	}
 
 	if bslds["hysteresis"] < bslds["no-migration"] {

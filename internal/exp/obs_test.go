@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rlsched/internal/obs"
+)
+
+// renderArts renders artifacts exactly as cmd/experiments prints them.
+func renderArts(arts []Artifact) []byte {
+	var buf bytes.Buffer
+	for _, a := range arts {
+		a.Print(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestFleetMigrationTraceAndReport is the end-to-end acceptance check of
+// the observability layer: a quick-scale fleet-migration run with tracing
+// and reporting enabled must (a) print byte-identical artifacts to the
+// untraced run, (b) write valid Chrome trace-event JSON containing at
+// least one migration arrow, and (c) write a run report with phases and
+// per-policy results.
+func TestFleetMigrationTraceAndReport(t *testing.T) {
+	o := ultraQuick()
+	// The quick-scale migration dimensions (same as TestFleetMigration):
+	// long enough for the shift stream to genuinely strand and move jobs.
+	o.TraceJobs = 800
+	o.EvalSeqLen = 128
+	o.EvalNSeq = 3
+	o.MaxObserve = 16
+	baseArts, err := Run("fleet-migration", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	o.TracePath = filepath.Join(dir, "trace.json")
+	o.ReportPath = filepath.Join(dir, "report.json")
+	tracedArts, err := Run("fleet-migration", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := renderArts(baseArts), renderArts(tracedArts); !bytes.Equal(a, b) {
+		t.Fatalf("artifacts differ with tracing enabled:\n--- untraced ---\n%s\n--- traced ---\n%s", a, b)
+	}
+
+	// Trace: valid Chrome trace-event JSON, every event named and phased,
+	// at least one migration flow arrow (an "s"/"f" pair).
+	data, err := os.ReadFile(o.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	arrows, spans := 0, 0
+	for i, ev := range tr.TraceEvents {
+		name, _ := ev["name"].(string)
+		ph, _ := ev["ph"].(string)
+		if name == "" || ph == "" {
+			t.Fatalf("trace event %d missing name/ph: %v", i, ev)
+		}
+		switch ph {
+		case "s":
+			arrows++
+		case "X":
+			spans++
+		}
+	}
+	if arrows < 1 {
+		t.Fatal("trace contains no migration arrow")
+	}
+	if spans < 1 {
+		t.Fatal("trace contains no job spans")
+	}
+
+	// Report: round-trips, carries the run identity, phase timings and one
+	// row per policy × stream.
+	rdata, err := os.ReadFile(o.ReportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(rdata, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Experiment != "fleet-migration" || rep.Seed != o.Seed {
+		t.Fatalf("report identity = %s/%d", rep.Experiment, rep.Seed)
+	}
+	if len(rep.Phases) != 3 {
+		t.Fatalf("report has %d phases, want 3 (one per policy)", len(rep.Phases))
+	}
+	wantRows := 3 * o.EvalNSeq
+	if len(rep.Results) != wantRows {
+		t.Fatalf("report has %d result rows, want %d", len(rep.Results), wantRows)
+	}
+	for _, r := range rep.Results {
+		if r.Jobs == 0 || len(r.Metrics) == 0 {
+			t.Fatalf("empty report row: %+v", r)
+		}
+	}
+	if rep.WallSeconds <= 0 {
+		t.Fatalf("wall seconds = %g", rep.WallSeconds)
+	}
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"sort"
 	"sync"
 
@@ -88,6 +89,15 @@ type FairnessConfig struct {
 	// cluster before its history repels them (one unlucky job is not a
 	// pattern). Default 2.
 	MinObs int
+	// DecayWindow, when positive, makes every tracked share an
+	// exponentially decayed sum with an effective window of about this many
+	// fleet-wide completions: each Observe multiplies all shares by
+	// λ = 1 − 1/max(DecayWindow, 1) before folding the new job in. A
+	// long-running daemon then answers "how is this user served NOW"
+	// instead of averaging over its whole uptime — a user throttled for a
+	// week stops looking privileged forever. 0 (the default) keeps the
+	// full-history behavior, bit-for-bit.
+	DecayWindow float64
 }
 
 func (c FairnessConfig) withDefaults() FairnessConfig {
@@ -116,33 +126,72 @@ func (c FairnessConfig) withDefaults() FairnessConfig {
 }
 
 // userShare accumulates one user's realized bounded slowdown: fleet-wide
-// and split per cluster.
+// and split per cluster. Counts are float64 because a decayed count is
+// fractional (with DecayWindow off they hold exact integers).
 type userShare struct {
 	sum float64
-	n   int
+	n   float64
 	// byCluster maps member index → (sum, n) of the user's completed
 	// bounded slowdowns there.
 	clSum map[int]float64
-	clN   map[int]int
+	clN   map[int]float64
+	// last is the fleet-wide completion count this share was last decayed
+	// at: per-user decay is applied lazily, so an Observe touches one
+	// user's maps, not every user's.
+	last uint64
 }
 
 // FairnessScorer is the stateful fairness Score plugin. It is safe for
 // concurrent use (the serving daemon scores and observes from concurrent
 // requests); within a Fleet.Run all calls are serial and deterministic.
 type FairnessScorer struct {
-	cfg FairnessConfig
+	cfg   FairnessConfig
+	decay float64 // per-completion share multiplier; 1 = full history
 
-	mu    sync.Mutex
-	users map[int]*userShare
-	gSum  float64
-	gN    int
+	mu     sync.Mutex
+	users  map[int]*userShare
+	gSum   float64
+	gN     float64
+	events uint64 // fleet-wide completions observed (decay clock)
 }
 
 // NewFairnessScorer returns a fairness plugin with the config's defaults
 // filled in.
 func NewFairnessScorer(cfg FairnessConfig) *FairnessScorer {
-	return &FairnessScorer{cfg: cfg.withDefaults(), users: map[int]*userShare{}}
+	decay := 1.0
+	if cfg.DecayWindow > 0 {
+		w := cfg.DecayWindow
+		if w < 1 {
+			w = 1
+		}
+		decay = 1 - 1/w
+	}
+	return &FairnessScorer{cfg: cfg.withDefaults(), decay: decay, users: map[int]*userShare{}}
 }
+
+// syncLocked brings one user's lazily decayed shares up to the current
+// decay clock. Callers hold f.mu. A no-op with decay off, so the
+// full-history arithmetic is untouched.
+func (f *FairnessScorer) syncLocked(u *userShare) {
+	if f.decay >= 1 || u.last == f.events {
+		u.last = f.events
+		return
+	}
+	factor := math.Pow(f.decay, float64(f.events-u.last))
+	u.sum *= factor
+	u.n *= factor
+	for k := range u.clSum {
+		u.clSum[k] *= factor
+	}
+	for k := range u.clN {
+		u.clN[k] *= factor
+	}
+	u.last = f.events
+}
+
+// shareEpsilon is the decayed job count below which a user's share counts
+// as empty: it keeps a fully decayed-away user from reporting a 0/0 mean.
+const shareEpsilon = 1e-9
 
 // Name implements Scorer.
 func (f *FairnessScorer) Name() string { return "fairness" }
@@ -153,6 +202,7 @@ func (f *FairnessScorer) Reset() {
 	f.mu.Lock()
 	f.users = map[int]*userShare{}
 	f.gSum, f.gN = 0, 0
+	f.events = 0
 	f.mu.Unlock()
 }
 
@@ -193,11 +243,19 @@ func (f *FairnessScorer) Observe(cluster int, j *job.Job) {
 	}
 	b := j.BoundedSlowdown(metrics.BsldThreshold)
 	f.mu.Lock()
+	if f.decay < 1 {
+		// Eager global decay (two scalars), lazy per-user decay (the one
+		// share being touched syncs below).
+		f.events++
+		f.gSum *= f.decay
+		f.gN *= f.decay
+	}
 	u := f.users[bucket(j.UserID)]
 	if u == nil {
-		u = &userShare{clSum: map[int]float64{}, clN: map[int]int{}}
+		u = &userShare{clSum: map[int]float64{}, clN: map[int]float64{}, last: f.events}
 		f.users[bucket(j.UserID)] = u
 	}
+	f.syncLocked(u)
 	u.sum += b
 	u.n++
 	u.clSum[cluster] += b
@@ -234,6 +292,9 @@ func (f *FairnessScorer) Score(j *job.Job, cands []*Candidate, out []float64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	u := f.users[bucket(j.UserID)]
+	if u != nil {
+		f.syncLocked(u)
+	}
 	// The deprivation signal blends two sources. Realized: the tracked
 	// bounded slowdowns of completed jobs. Live: every pending job visible
 	// in the candidates — plus the job being scored itself — counted at
@@ -249,7 +310,7 @@ func (f *FairnessScorer) Score(j *job.Job, cands []*Candidate, out []float64) {
 			now = c.Now
 		}
 	}
-	uSum, uN := 0.0, 0
+	uSum, uN := 0.0, 0.0
 	gSum, gN := f.gSum, f.gN
 	if u != nil {
 		uSum, uN = u.sum, u.n
@@ -337,7 +398,7 @@ func (f *FairnessScorer) Score(j *job.Job, cands []*Candidate, out []float64) {
 		if u == nil || histMean <= 0 {
 			continue
 		}
-		if n := u.clN[c.Index]; n >= f.cfg.MinObs {
+		if n := u.clN[c.Index]; n >= float64(f.cfg.MinObs) {
 			rel := (u.clSum[c.Index]/float64(n))/histMean - 1
 			if rel > 0 {
 				if rel > f.cfg.RelCap {
@@ -357,7 +418,15 @@ func (f *FairnessScorer) UserMeans() []metrics.UserMean {
 	defer f.mu.Unlock()
 	out := make([]metrics.UserMean, 0, len(f.users))
 	for uid, u := range f.users {
-		out = append(out, metrics.UserMean{UserID: uid, Jobs: u.n, Mean: u.sum / float64(u.n)})
+		f.syncLocked(u)
+		if u.n <= shareEpsilon {
+			continue // fully decayed away: no current service to report
+		}
+		jobs := int(math.Round(u.n))
+		if jobs < 1 {
+			jobs = 1
+		}
+		out = append(out, metrics.UserMean{UserID: uid, Jobs: jobs, Mean: u.sum / u.n})
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].UserID < out[k].UserID })
 	return out
@@ -376,11 +445,18 @@ func (f *FairnessScorer) Report() metrics.FairnessReport {
 func (f *FairnessScorer) UserState(uid int) (userMean float64, jobs int, fleetMean float64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.gN > 0 {
-		fleetMean = f.gSum / float64(f.gN)
+	if f.gN > shareEpsilon {
+		fleetMean = f.gSum / f.gN
 	}
-	if u := f.users[bucket(uid)]; u != nil && u.n > 0 {
-		userMean, jobs = u.sum/float64(u.n), u.n
+	if u := f.users[bucket(uid)]; u != nil {
+		f.syncLocked(u)
+		if u.n > shareEpsilon {
+			userMean = u.sum / u.n
+			jobs = int(math.Round(u.n))
+			if jobs < 1 {
+				jobs = 1
+			}
+		}
 	}
 	return userMean, jobs, fleetMean
 }

@@ -249,3 +249,67 @@ func TestFairnessScoreFinite(t *testing.T) {
 		t.Fatalf("unstarted job observed: %+v", rep)
 	}
 }
+
+// TestFairnessDecayWindow: with a decay window the tracked shares answer
+// "how is this user served NOW" — a long history of good service stops
+// masking a recent throttling — while window 0 keeps the exact
+// full-history arithmetic, and fully decayed users vanish from reports
+// instead of contributing 0/0 means.
+func TestFairnessDecayWindow(t *testing.T) {
+	// 100 well-served completions (bsld 1), then 5 terrible ones (bsld 100).
+	feed := func(f *FairnessScorer) {
+		for i := 0; i < 100; i++ {
+			f.Observe(0, doneJob(7, 0, 100))
+		}
+		for i := 0; i < 5; i++ {
+			f.Observe(0, doneJob(7, 9900, 100))
+		}
+	}
+
+	full := NewFairnessScorer(FairnessConfig{})
+	feed(full)
+	mean, jobs, fleetMean := full.UserState(7)
+	wantFull := (100*1.0 + 5*100.0) / 105
+	if math.Abs(mean-wantFull) > 1e-9 || jobs != 105 {
+		t.Fatalf("full history mean/jobs = %g/%d, want %g/105", mean, jobs, wantFull)
+	}
+	if math.Abs(fleetMean-wantFull) > 1e-9 {
+		t.Fatalf("full history fleet mean = %g, want %g", fleetMean, wantFull)
+	}
+
+	win := NewFairnessScorer(FairnessConfig{DecayWindow: 5})
+	feed(win)
+	wmean, wjobs, _ := win.UserState(7)
+	// The 5-job window must be dominated by the recent bsld-100 run (the
+	// full-history mean sits under 10, blind to the throttling).
+	if wmean < 50 {
+		t.Fatalf("windowed mean = %g, want recent bad service to dominate (> 50)", wmean)
+	}
+	if wantFull >= 10 {
+		t.Fatalf("test premise broken: full mean %g not << windowed", wantFull)
+	}
+	if wjobs >= 105 || wjobs < 1 {
+		t.Fatalf("windowed effective jobs = %d, want roughly the window, not the history", wjobs)
+	}
+
+	// Window 1 decays instantly: an old user's share vanishes instead of
+	// reporting a 0/0 mean, and only the last-observed user remains.
+	gone := NewFairnessScorer(FairnessConfig{DecayWindow: 1})
+	gone.Observe(0, doneJob(3, 0, 100))
+	for i := 0; i < 50; i++ {
+		gone.Observe(0, doneJob(7, 0, 100))
+	}
+	means := gone.UserMeans()
+	if len(means) != 1 || means[0].UserID != 7 {
+		t.Fatalf("decayed-away users must vanish from UserMeans, got %+v", means)
+	}
+	if m, j, _ := gone.UserState(3); m != 0 || j != 0 {
+		t.Fatalf("decayed-away user state = %g/%d, want zeros", m, j)
+	}
+
+	// Reset clears the decay clock too.
+	win.Reset()
+	if m, j, fm := win.UserState(7); m != 0 || j != 0 || fm != 0 {
+		t.Fatalf("state after Reset = %g/%d/%g, want zeros", m, j, fm)
+	}
+}

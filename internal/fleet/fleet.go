@@ -16,6 +16,7 @@ import (
 
 	"rlsched/internal/job"
 	"rlsched/internal/metrics"
+	"rlsched/internal/obs"
 	"rlsched/internal/sim"
 )
 
@@ -46,6 +47,19 @@ type Candidate struct {
 type Router interface {
 	Name() string
 	Place(j *job.Job, cands []*Candidate) int
+}
+
+// ExplainingRouter is a Router that can also report the per-candidate
+// evidence behind a decision — filter verdicts, normalized plugin scores,
+// totals, tie-breaks — into an obs.Explain. Pipeline implements it; the
+// unscored baselines (random, round-robin) do not, so their recorded
+// decisions carry no candidate table.
+type ExplainingRouter interface {
+	Router
+	// PlaceExplained is Place that additionally fills ex (and scores, when
+	// non-nil) with the decision evidence. The pick must be identical to
+	// Place for the same inputs.
+	PlaceExplained(j *job.Job, cands []*Candidate, scores []float64, ex *obs.Explain) int
 }
 
 // MemberConfig declares one fleet member: a cluster configuration and the
@@ -154,6 +168,11 @@ type Fleet struct {
 	// lastMig retains the most recent run's migration controller state for
 	// white-box invariant tests.
 	lastMig *migrator
+	// rec is the attached observability recorder (nil = disabled); explain
+	// and placeEvt are its reused emission buffers.
+	rec      obs.Recorder
+	explain  obs.Explain
+	placeEvt obs.PlacementDecision
 }
 
 // New assembles a fleet. Members must have distinct names.
@@ -204,6 +223,60 @@ func (f *Fleet) EnableMigration(cfg MigrationConfig) error {
 	}
 	f.migCfg = &cfg
 	return nil
+}
+
+// SetRecorder attaches an observability recorder to subsequent Runs (nil
+// detaches): the fleet emits one obs.PlacementDecision per routed job
+// (with the full per-plugin score table when the router is an
+// ExplainingRouter), the migration controller emits one obs.MigrationProbe
+// per considered job, stateful fairness scorers emit obs.FairnessSnapshots
+// before each decision, and every member simulator emits cluster-tagged
+// job lifecycle events. Recording is strictly passive: run results are
+// byte-identical with and without a recorder (pinned by parity tests).
+func (f *Fleet) SetRecorder(r obs.Recorder) {
+	f.rec = r
+	for _, m := range f.members {
+		m.sim.SetRecorder(r, m.name)
+	}
+}
+
+// fairReporter is the optional aggregate-report surface of a stateful
+// scorer (FairnessScorer implements it); recorded runs snapshot it before
+// every placement decision.
+type fairReporter interface {
+	Report() metrics.FairnessReport
+}
+
+// placeRecorded is the traced twin of `f.router.Place(j, cands)`: same
+// pick, plus one FairnessSnapshot per reporting stateful scorer and one
+// PlacementDecision into the recorder.
+func (f *Fleet) placeRecorded(j *job.Job, cands []*Candidate) int {
+	for _, s := range f.stateful {
+		if fr, ok := s.(fairReporter); ok {
+			snap := obs.FairnessSnapshot{Time: j.SubmitTime, Report: fr.Report()}
+			f.rec.Fairness(&snap)
+		}
+	}
+	d := &f.placeEvt
+	*d = obs.PlacementDecision{
+		Time:   j.SubmitTime,
+		Router: f.router.Name(),
+		Job:    obs.Ref(j),
+	}
+	var k int
+	if er, ok := f.router.(ExplainingRouter); ok {
+		k = er.PlaceExplained(j, cands, nil, &f.explain)
+		d.TieBreak = f.explain.TieBreak
+		d.Candidates = f.explain.Candidates
+	} else {
+		k = f.router.Place(j, cands)
+	}
+	d.Winner = k
+	if k >= 0 && k < len(f.members) {
+		d.Cluster = f.members[k].name
+	}
+	f.rec.Placement(d)
+	return k
 }
 
 // reset returns every member to an idle cluster at t=0 and clears all
@@ -303,6 +376,7 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 	var mig *migrator
 	if f.migCfg != nil {
 		mig = newMigrator(*f.migCfg, f.router.(ScoredRouter), stream[0].SubmitTime)
+		mig.rec = f.rec
 	}
 	f.lastMig = mig
 	assignments := make([]int, len(stream))
@@ -323,7 +397,13 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 			}
 		}
 		f.observeCompletions()
-		k := f.router.Place(j, f.candidates())
+		cands := f.candidates()
+		var k int
+		if f.rec != nil {
+			k = f.placeRecorded(j, cands)
+		} else {
+			k = f.router.Place(j, cands)
+		}
 		if k < 0 || k >= len(f.members) {
 			// Run has no fleet-level holding queue: a router that
 			// declines a job (capacity, or a transient condition like a

@@ -6,6 +6,7 @@ import (
 
 	"rlsched/internal/job"
 	"rlsched/internal/metrics"
+	"rlsched/internal/obs"
 )
 
 // Cross-cluster job migration (DESIGN.md §7): the placement decision made
@@ -134,6 +135,10 @@ type migrator struct {
 	moves     int
 	scores    []float64
 	snap      [][]*job.Job
+	// rec is the run's observability recorder (nil = disabled); probe is
+	// its reused emission buffer. Recording never changes sweep decisions.
+	rec   obs.Recorder
+	probe obs.MigrationProbe
 }
 
 func newMigrator(cfg MigrationConfig, router ScoredRouter, firstArrival float64) *migrator {
@@ -195,9 +200,11 @@ func (f *Fleet) sweep(mig *migrator, now float64) error {
 			}
 			if inf := mig.info[j]; inf != nil {
 				if mig.cfg.MaxMovesPerJob > 0 && inf.moves >= mig.cfg.MaxMovesPerJob {
+					mig.skipProbe(f, si, j, now, obs.ReasonMoveCap)
 					continue
 				}
 				if mig.cfg.Cooldown > 0 && now-inf.lastMove < mig.cfg.Cooldown {
+					mig.skipProbe(f, si, j, now, obs.ReasonCooldown)
 					continue
 				}
 			}
@@ -231,14 +238,39 @@ func (f *Fleet) tryMove(mig *migrator, src int, j *job.Job, now float64) (bool, 
 	best := mig.router.PlaceScored(j, cands, scores)
 
 	dst := src
-	if best >= 0 && best != src {
+	reason := obs.ReasonIncumbent
+	margin := 0.0
+	if best < 0 {
+		reason = obs.ReasonInfeasible
+	} else if best != src {
 		// An incumbent the filters now reject (NaN score) always loses.
-		if cur := scores[src]; math.IsNaN(cur) || scores[best]-cur > mig.cfg.Hysteresis {
+		cur := scores[src]
+		if !math.IsNaN(cur) {
+			margin = scores[best] - cur
+		}
+		if math.IsNaN(cur) || scores[best]-cur > mig.cfg.Hysteresis {
 			if !mig.cfg.RequireStartNow ||
 				(cands[best].Pending == 0 && f.members[best].sim.CanStartNow(j)) {
 				dst = best
+				reason = obs.ReasonMoved
+			} else {
+				reason = obs.ReasonNotDrained
 			}
+		} else {
+			reason = obs.ReasonHysteresis
 		}
+	}
+	if mig.rec != nil {
+		p := &mig.probe
+		*p = obs.MigrationProbe{
+			Time: now, Job: obs.Ref(j),
+			From: src, FromName: srcM.name, To: best,
+			Moved: dst != src, Reason: reason, Margin: margin,
+		}
+		if best >= 0 {
+			p.ToName = f.members[best].name
+		}
+		mig.rec.Migration(p)
 	}
 	m := f.members[dst]
 	if err := m.sim.Submit(j); err != nil {
@@ -275,6 +307,20 @@ func (f *Fleet) tryMove(mig *migrator, src int, j *job.Job, now float64) (bool, 
 		return true, srcM.pump()
 	}
 	return true, nil
+}
+
+// skipProbe records a sweep skipping j before any re-scoring happened
+// (cooldown or lifetime move cap); no-op without a recorder.
+func (mig *migrator) skipProbe(f *Fleet, src int, j *job.Job, now float64, reason string) {
+	if mig.rec == nil {
+		return
+	}
+	p := &mig.probe
+	*p = obs.MigrationProbe{
+		Time: now, Job: obs.Ref(j),
+		From: src, FromName: f.members[src].name, To: -1, Reason: reason,
+	}
+	mig.rec.Migration(p)
 }
 
 // drainMigrating runs every member to completion after the last arrival,

@@ -7,6 +7,7 @@ import (
 
 	"rlsched/internal/job"
 	"rlsched/internal/nn"
+	"rlsched/internal/obs"
 	"rlsched/internal/sim"
 )
 
@@ -75,19 +76,47 @@ func (p *Pipeline) Place(j *job.Job, cands []*Candidate) int {
 // per candidate into scores (len(cands); NaN marks filtered-out clusters).
 // It returns -1 when no cluster is feasible.
 func (p *Pipeline) PlaceScored(j *job.Job, cands []*Candidate, scores []float64) int {
+	return p.place(j, cands, scores, nil)
+}
+
+// PlaceExplained is PlaceScored that additionally fills ex with the
+// per-candidate evidence: every filter verdict, each score plugin's
+// normalized contribution, the weighted totals and whether the winner was
+// tie-broken. The decision itself is bit-identical to PlaceScored — the
+// explain pass only observes values the scoring pass computes anyway.
+func (p *Pipeline) PlaceExplained(j *job.Job, cands []*Candidate, scores []float64, ex *obs.Explain) int {
+	return p.place(j, cands, scores, ex)
+}
+
+// place is the shared placement pass; ex == nil skips all tracing.
+func (p *Pipeline) place(j *job.Job, cands []*Candidate, scores []float64, ex *obs.Explain) int {
 	sc, _ := p.pool.Get().(*pipelineScratch)
 	if sc == nil {
 		sc = &pipelineScratch{}
 	}
 	defer p.pool.Put(sc)
 
+	if ex != nil {
+		ex.Reset(len(cands))
+		for i, c := range cands {
+			ex.Candidates[i].Index = c.Index
+			ex.Candidates[i].Name = c.Name
+		}
+	}
+
 	feasible := sc.feasible[:0]
 next:
 	for i, c := range cands {
 		for _, f := range p.Filters {
 			if !f.Feasible(j, c) {
+				if ex != nil {
+					ex.Candidates[i].FilteredBy = f.Name()
+				}
 				continue next
 			}
+		}
+		if ex != nil {
+			ex.Candidates[i].Feasible = true
 		}
 		feasible = append(feasible, i)
 	}
@@ -102,6 +131,9 @@ next:
 	if len(feasible) == 1 {
 		if scores != nil {
 			scores[feasible[0]] = 1
+		}
+		if ex != nil {
+			ex.Candidates[feasible[0]].Total = 1
 		}
 		return feasible[0]
 	}
@@ -126,12 +158,26 @@ next:
 	for _, ws := range p.Scorers {
 		ws.Scorer.Score(j, feasCands, sub)
 		lo, hi := scoreBounds(sub)
-		if span := hi - lo; span > 0 {
+		span := hi - lo
+		if span > 0 {
 			for k, i := range feasible {
 				total[i] += ws.Weight * (sub[k] - lo) / span
 			}
 		}
 		// A constant plugin expresses no preference and contributes 0.
+		if ex != nil {
+			name := ws.Scorer.Name()
+			for k, i := range feasible {
+				norm := 0.0
+				if span > 0 {
+					norm = (sub[k] - lo) / span
+				}
+				c := &ex.Candidates[i]
+				c.Plugins = append(c.Plugins, obs.PluginScore{
+					Plugin: name, Weight: ws.Weight, Norm: norm,
+				})
+			}
+		}
 	}
 
 	best := feasible[0]
@@ -143,6 +189,17 @@ next:
 	if scores != nil {
 		for _, i := range feasible {
 			scores[i] = total[i]
+		}
+	}
+	if ex != nil {
+		for _, i := range feasible {
+			ex.Candidates[i].Total = total[i]
+		}
+		for _, i := range feasible {
+			if i != best && total[i] == total[best] {
+				ex.TieBreak = true
+				break
+			}
 		}
 	}
 	return best

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// BenchJSONEnv names the environment variable that, when set to a
+// directory, makes the §2 benchmarks write BENCH_<name>.json snapshots
+// there (see BenchSnapshot.WriteFile). Unset → no snapshot, no overhead.
+const BenchJSONEnv = "RLSCHED_BENCH_JSON"
+
+// BenchSnapshot is one benchmark's machine-readable result: iteration
+// cost plus the benchmark's custom throughput metrics, stamped with the
+// toolchain and host shape so snapshots from different machines don't get
+// compared blindly.
+type BenchSnapshot struct {
+	// Name is the snapshot's short name ("fleetplace", ...); the file is
+	// BENCH_<Name>.json.
+	Name string `json:"name"`
+	// Iterations is b.N; NsPerOp the mean iteration cost.
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics carries the benchmark's custom rates (placements_per_s,
+	// decisions_per_s, epoch_seconds, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// GoVersion, GOOS, GOARCH and CPUs describe the machine the numbers
+	// came from.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// UnixTime is the snapshot instant (seconds since epoch).
+	UnixTime int64 `json:"unix_time"`
+}
+
+// NewBenchSnapshot stamps a snapshot with the current toolchain, host
+// shape and time.
+func NewBenchSnapshot(name string, iterations int, nsPerOp float64, m map[string]float64) BenchSnapshot {
+	return BenchSnapshot{
+		Name:       name,
+		Iterations: iterations,
+		NsPerOp:    nsPerOp,
+		Metrics:    m,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		UnixTime:   time.Now().Unix(),
+	}
+}
+
+// WriteFile writes the snapshot as BENCH_<name>.json under dir and
+// returns the written path.
+func (s BenchSnapshot) WriteFile(dir string) (string, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+s.Name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

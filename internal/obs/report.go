@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+
+	"rlsched/internal/metrics"
+)
+
+// RunReport is the machine-readable record of one experiment run: the
+// scenario identity and seed, wall-clock phase timings, and per-policy
+// result summaries. Experiments fill one when exp.Options.ReportPath is
+// set; the driver writes it next to the rendered artifact.
+type RunReport struct {
+	// Experiment is the experiment ID (exp registry key).
+	Experiment string `json:"experiment"`
+	// Seed is the run's root RNG seed.
+	Seed int64 `json:"seed"`
+	// Options echoes the run configuration (the exp.Options value).
+	Options any `json:"options,omitempty"`
+	// Phases lists wall-clock timings of the run's labelled stages, in
+	// completion order.
+	Phases []Phase `json:"phases,omitempty"`
+	// Results carries one summary per evaluated policy/scenario row.
+	Results []ResultEntry `json:"results,omitempty"`
+	// WallSeconds is the whole run's wall-clock duration.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Phase is one labelled wall-clock stage of an experiment run.
+type Phase struct {
+	// Name labels the stage (e.g. "train", "evaluate/binpack").
+	Name string `json:"name"`
+	// Seconds is the stage's wall-clock duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// ResultEntry summarizes one metrics.Result inside a run report: the
+// standard job-averaged metrics, migration accounting, and the per-user
+// fairness report.
+type ResultEntry struct {
+	// Name labels the row (policy and/or scenario).
+	Name string `json:"name"`
+	// Jobs is the number of completed jobs in the result.
+	Jobs int `json:"jobs"`
+	// Metrics maps metric kind names to their values, plus migration
+	// accounting ("moves", "migrated_jobs", "mean_migration_delay_s") when
+	// the run migrated anything.
+	Metrics map[string]float64 `json:"metrics"`
+	// Fairness is the per-user bounded-slowdown fairness report (nil when
+	// the result has no attributed users).
+	Fairness *metrics.FairnessReport `json:"fairness,omitempty"`
+}
+
+// NewRunReport starts an empty report for the experiment and seed.
+func NewRunReport(experiment string, seed int64) *RunReport {
+	return &RunReport{Experiment: experiment, Seed: seed}
+}
+
+// AddPhase appends a wall-clock stage timing.
+func (r *RunReport) AddPhase(name string, seconds float64) {
+	r.Phases = append(r.Phases, Phase{Name: name, Seconds: seconds})
+}
+
+// AddResult summarizes res under the given row name and appends it.
+func (r *RunReport) AddResult(name string, res metrics.Result) {
+	r.Results = append(r.Results, ResultEntryOf(name, res))
+}
+
+// ResultEntryOf summarizes a metrics.Result: every standard metric kind,
+// migration accounting when present, and the per-user fairness report.
+func ResultEntryOf(name string, res metrics.Result) ResultEntry {
+	e := ResultEntry{
+		Name:    name,
+		Jobs:    len(res.Jobs),
+		Metrics: make(map[string]float64, len(metrics.Kinds)+3),
+	}
+	for _, k := range metrics.Kinds {
+		e.Metrics[k.String()] = metrics.Value(k, res)
+	}
+	if res.Moves > 0 || len(res.MigratedJobs) > 0 {
+		e.Metrics["moves"] = float64(res.Moves)
+		e.Metrics["migrated_jobs"] = float64(len(res.MigratedJobs))
+		e.Metrics["mean_migration_delay_s"] = metrics.MeanMigrationDelay(res)
+	}
+	if rep := metrics.Fairness(res.Jobs, metrics.BoundedSlowdown); rep.Users > 0 {
+		cp := rep
+		e.Fairness = &cp
+	}
+	return e
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *RunReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -10,6 +10,7 @@ import (
 
 	"rlsched/internal/fleet"
 	"rlsched/internal/job"
+	"rlsched/internal/obs"
 	"rlsched/internal/sim"
 )
 
@@ -131,12 +132,18 @@ func (s *Server) initFleet(cfg Config) error {
 	if !(cfg.FairWeight >= 0) {
 		return fmt.Errorf("serve: fairness weight must be non-negative, got %g", cfg.FairWeight)
 	}
+	if !(cfg.FairWindow >= 0) {
+		return fmt.Errorf("serve: fairness window must be non-negative, got %g", cfg.FairWindow)
+	}
+	if cfg.FairWindow > 0 && cfg.FairWeight == 0 {
+		return fmt.Errorf("serve: -fair-window needs -fair-weight > 0")
+	}
 	if cfg.FairWeight > 0 {
 		// The stateful per-user fairness plugin rides on the selected
 		// pipeline. Its state grows from the completed-job records clusters
 		// post with /place — the serving twin of the fleet simulator's
 		// completion feed — and is exported as rlserv_fairness_score.
-		s.fairness = fleet.NewFairnessScorer(fleet.FairnessConfig{})
+		s.fairness = fleet.NewFairnessScorer(fleet.FairnessConfig{DecayWindow: cfg.FairWindow})
 		s.placer.Scorers = append(s.placer.Scorers,
 			fleet.WeightedScorer{Scorer: s.fairness, Weight: cfg.FairWeight})
 	}
@@ -303,12 +310,31 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// ?explain=1 asks for the per-plugin score table in the response; the
+	// decision ring wants the same trace for /debug/decisions. Either way
+	// the pick is identical to the plain scored path (pinned by tests).
+	wantExplain := r.URL.Query().Get("explain") == "1"
+	var ex *obs.Explain
+	if wantExplain || s.ring != nil {
+		ex = new(obs.Explain)
+	}
 	scores := make([]float64, len(cands))
-	pick := s.placer.PlaceScored(j, cands, scores)
+	pick := s.placer.PlaceExplained(j, cands, scores, ex)
 	if pick < 0 {
 		s.fail(w, http.StatusUnprocessableEntity,
 			fmt.Errorf("serve: job (%d procs) fits no cluster", j.RequestedProcs))
 		return
+	}
+	if s.ring != nil {
+		s.ring.Placement(&obs.PlacementDecision{
+			Time:       time.Since(s.start).Seconds(),
+			Router:     s.placer.Name(),
+			Job:        obs.Ref(j),
+			Winner:     cands[pick].Index,
+			Cluster:    cands[pick].Name,
+			TieBreak:   ex.TieBreak,
+			Candidates: ex.Candidates,
+		})
 	}
 
 	resp := make([]byte, 0, 256)
@@ -332,6 +358,18 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	resp = append(resp, `,"scores":`...)
 	resp = appendScoresJSON(resp, cands, scores)
+	if wantExplain {
+		// The full pipeline trace: per candidate, each plugin's weight and
+		// normalized score plus filter verdicts — json.Marshal here, off
+		// the default fast path.
+		exJSON, err := json.Marshal(ex)
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp = append(resp, `,"explain":`...)
+		resp = append(resp, exJSON...)
+	}
 	resp = append(resp, '}', '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(resp)
@@ -388,6 +426,7 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: migration endpoint not enabled (fleet mode with -migrate)"))
 		return
 	}
+	start := time.Now()
 	body, ok := s.readLimitedBody(w, r)
 	if !ok {
 		return
@@ -456,6 +495,7 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	w.Write(resp)
 
 	s.metrics.MigrateChecksTotal.Add(1)
+	s.metrics.MigrateLatency.ObserveDuration(time.Since(start))
 	if move {
 		s.metrics.CountMigration(cands[dst].Index)
 	}

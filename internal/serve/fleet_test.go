@@ -278,6 +278,8 @@ func TestMigrateEndpoint(t *testing.T) {
 	raw, _ := io.ReadAll(r.Body)
 	for _, want := range []string{
 		"rlserv_migrate_checks_total 2",
+		"rlserv_migrate_latency_seconds_count 2",
+		"rlserv_migrate_latency_seconds_bucket",
 		`rlserv_migrations_total{cluster="small"} 1`,
 		`rlserv_migrations_total{cluster="large"} 0`,
 	} {
@@ -354,6 +356,8 @@ func TestFleetConfigValidation(t *testing.T) {
 		{Shards: []ShardConfig{{Name: "a", PolicyName: "SJF"}}},                                                       // no procs
 		{Shards: []ShardConfig{{Name: "a", Procs: 8, PolicyName: "SJF"}, {Name: "a", Procs: 8, PolicyName: "F1"}}},    // duplicate
 		{Shards: []ShardConfig{{Name: "a", Procs: 8, PolicyName: "SJF"}, {Name: "b", Procs: 8, PolicyName: "bogus"}}}, // bad engine
+		{Shards: []ShardConfig{{Name: "a", Procs: 8, PolicyName: "SJF"}}, FairWeight: 1, FairWindow: -3},              // negative window
+		{Shards: []ShardConfig{{Name: "a", Procs: 8, PolicyName: "SJF"}}, FairWindow: 10},                             // window without weight
 	}
 	for i, cfg := range bad {
 		if srv, err := NewServer(cfg); err == nil {

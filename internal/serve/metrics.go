@@ -30,9 +30,10 @@ type Metrics struct {
 	placeCounts  []atomic.Uint64
 
 	// Migration instrumentation (fleet mode with -migrate): evaluations
-	// of the /migrate endpoint and, per destination shard, how many of
-	// them recommended a move.
+	// of the /migrate endpoint, the per-request evaluation latency, and,
+	// per destination shard, how many evaluations recommended a move.
 	MigrateChecksTotal atomic.Uint64
+	MigrateLatency     Histogram
 	migrateCounts      []atomic.Uint64
 }
 
@@ -94,6 +95,8 @@ func NewMetrics() *Metrics {
 	m.BatchSize.counts = make([]atomic.Uint64, len(m.BatchSize.bounds)+1)
 	m.PlaceLatency.bounds = m.Latency.bounds
 	m.PlaceLatency.counts = make([]atomic.Uint64, len(m.PlaceLatency.bounds)+1)
+	m.MigrateLatency.bounds = m.Latency.bounds
+	m.MigrateLatency.counts = make([]atomic.Uint64, len(m.MigrateLatency.bounds)+1)
 	return m
 }
 
@@ -156,7 +159,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // writeProm emits the histogram in Prometheus text format.
-func (h *Histogram) writeProm(w io.Writer, name string) {
+func (h *Histogram) writeProm(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 	var cum uint64
 	for i, b := range h.bounds {
@@ -171,25 +175,40 @@ func (h *Histogram) writeProm(w io.Writer, name string) {
 
 func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
 
-// WriteProm emits every metric in Prometheus text format. policy labels
-// the currently served engine.
+// promCounter emits one un-labelled counter family with its HELP and TYPE
+// header lines.
+func promCounter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// promFamily emits the HELP and TYPE header lines of a labelled family
+// whose samples the caller writes next.
+func promFamily(w io.Writer, name, help, kind string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+// WriteProm emits every metric in Prometheus text format — each family
+// with its # HELP and # TYPE header. policy labels the currently served
+// engine.
 func (m *Metrics) WriteProm(w io.Writer, policy string) {
-	fmt.Fprintf(w, "# TYPE rlserv_model_info gauge\nrlserv_model_info{policy=%q} 1\n", policy)
-	fmt.Fprintf(w, "# TYPE rlserv_requests_total counter\nrlserv_requests_total %d\n", m.RequestsTotal.Load())
-	fmt.Fprintf(w, "# TYPE rlserv_decisions_total counter\nrlserv_decisions_total %d\n", m.DecisionsTotal.Load())
-	fmt.Fprintf(w, "# TYPE rlserv_errors_total counter\nrlserv_errors_total %d\n", m.ErrorsTotal.Load())
-	fmt.Fprintf(w, "# TYPE rlserv_reloads_total counter\nrlserv_reloads_total %d\n", m.ReloadsTotal.Load())
-	m.Latency.writeProm(w, "rlserv_decision_latency_seconds")
-	m.BatchSize.writeProm(w, "rlserv_batch_size")
+	promFamily(w, "rlserv_model_info", "Currently served policy (always 1, name in the label).", "gauge")
+	fmt.Fprintf(w, "rlserv_model_info{policy=%q} 1\n", policy)
+	promCounter(w, "rlserv_requests_total", "HTTP decision requests served.", m.RequestsTotal.Load())
+	promCounter(w, "rlserv_decisions_total", "Queue states decided.", m.DecisionsTotal.Load())
+	promCounter(w, "rlserv_errors_total", "Rejected or failed requests.", m.ErrorsTotal.Load())
+	promCounter(w, "rlserv_reloads_total", "Successful engine hot-swaps.", m.ReloadsTotal.Load())
+	m.Latency.writeProm(w, "rlserv_decision_latency_seconds", "Per-request decision latency in seconds.")
+	m.BatchSize.writeProm(w, "rlserv_batch_size", "Queue states per engine forward pass.")
 	if len(m.placeNames) > 0 {
-		fmt.Fprintf(w, "# TYPE rlserv_placements_total counter\n")
+		promFamily(w, "rlserv_placements_total", "Placement decisions per destination cluster.", "counter")
 		for i, name := range m.placeNames {
 			fmt.Fprintf(w, "rlserv_placements_total{cluster=%q} %d\n", name, m.placeCounts[i].Load())
 		}
-		m.PlaceLatency.writeProm(w, "rlserv_place_latency_seconds")
-		fmt.Fprintf(w, "# TYPE rlserv_migrate_checks_total counter\nrlserv_migrate_checks_total %d\n",
+		m.PlaceLatency.writeProm(w, "rlserv_place_latency_seconds", "Per-request placement latency in seconds.")
+		promCounter(w, "rlserv_migrate_checks_total", "Evaluations of the /migrate endpoint.",
 			m.MigrateChecksTotal.Load())
-		fmt.Fprintf(w, "# TYPE rlserv_migrations_total counter\n")
+		m.MigrateLatency.writeProm(w, "rlserv_migrate_latency_seconds", "Per-request migration-check latency in seconds.")
+		promFamily(w, "rlserv_migrations_total", "Recommended moves per destination cluster.", "counter")
 		for i, name := range m.placeNames {
 			fmt.Fprintf(w, "rlserv_migrations_total{cluster=%q} %d\n", name, m.migrateCounts[i].Load())
 		}

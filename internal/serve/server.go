@@ -5,10 +5,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
 	"rlsched/internal/fleet"
+	"rlsched/internal/obs"
 )
 
 // Config assembles a Server.
@@ -59,6 +64,20 @@ type Config struct {
 	// aggregate view is exported as rlserv_fairness_score in /metrics and
 	// each /place response carries the job's user state. Fleet mode only.
 	FairWeight float64
+	// FairWindow, when positive, decays the fairness tracker's per-user
+	// shares with an effective window of about this many fleet-wide
+	// completions (fleet.FairnessConfig.DecayWindow): the daemon then
+	// judges users by their recent service, not its whole uptime. 0 keeps
+	// full-history shares. Requires FairWeight > 0.
+	FairWindow float64
+	// Pprof mounts the standard net/http/pprof profiling handlers under
+	// /debug/pprof/ (opt-in; profiling endpoints on a daemon's serving
+	// port are a production decision).
+	Pprof bool
+	// DecisionLog sizes the /debug/decisions ring buffer of recent /place
+	// decisions (fleet mode). 0 takes the default of 256; negative
+	// disables the ring and the endpoint.
+	DecisionLog int
 }
 
 // Server is the decision service: an Engine behind a Batcher behind an
@@ -80,6 +99,12 @@ type Server struct {
 	placer        *fleet.Pipeline
 	migrateMargin float64
 	fairness      *fleet.FairnessScorer
+
+	// Observability: process start (rlserv_uptime_seconds and decision
+	// timestamps count from it) and the /debug/decisions ring of recent
+	// placement decisions (nil when disabled or outside fleet mode).
+	start time.Time
+	ring  *obs.Ring
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -90,6 +115,7 @@ func NewServer(cfg Config) (*Server, error) {
 		modelPath: cfg.ModelPath,
 		maxBody:   cfg.MaxBodyBytes,
 		maxStates: cfg.MaxStatesPerRequest,
+		start:     time.Now(),
 	}
 	if s.maxBody <= 0 {
 		s.maxBody = 8 << 20
@@ -122,12 +148,29 @@ func NewServer(cfg Config) (*Server, error) {
 			OnBatch:  func(states int) { s.metrics.BatchSize.Observe(float64(states)) },
 		})
 	}
+	if len(s.shards) > 0 && cfg.DecisionLog >= 0 {
+		n := cfg.DecisionLog
+		if n == 0 {
+			n = 256
+		}
+		s.ring = obs.NewRing(n)
+	}
 	s.mux.HandleFunc("/v1/decide", s.handleDecide)
 	s.mux.HandleFunc("/place", s.handlePlace)
 	s.mux.HandleFunc("/migrate", s.handleMigrate)
 	s.mux.HandleFunc("/reload", s.handleReload)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/decisions", s.handleDecisions)
+	if cfg.Pprof {
+		// The standard profiling surface, mounted only on request: CPU
+		// and heap profiles of a live daemon without a restart.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -300,20 +343,71 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "{\"policy\":%q}\n", eng.Name())
 }
 
+// buildVersions reads the daemon's own build identity from the binary:
+// the Go toolchain version and the VCS revision the binary was built at
+// ("unknown" when the build carried no VCS stamp, e.g. test binaries).
+func buildVersions() (goVersion, revision string) {
+	goVersion, revision = runtime.Version(), "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, st := range bi.Settings {
+			if st.Key == "vcs.revision" && st.Value != "" {
+				revision = st.Value
+			}
+		}
+	}
+	return goVersion, revision
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteProm(w, s.batcher.Engine().Name())
+	goVersion, revision := buildVersions()
+	promFamily(w, "rlserv_build_info", "Build identity (always 1, toolchain and revision in the labels).", "gauge")
+	fmt.Fprintf(w, "rlserv_build_info{go_version=%q,revision=%q} 1\n", goVersion, revision)
+	promFamily(w, "rlserv_uptime_seconds", "Seconds since the daemon started.", "gauge")
+	fmt.Fprintf(w, "rlserv_uptime_seconds %g\n", time.Since(s.start).Seconds())
 	if s.fairness != nil {
 		// The fairness tracker's live view of per-user service: Jain's
 		// index and worst-user stats over the tracked bounded-slowdown
 		// means (1/1/0 until any completions have been posted).
 		rep := s.fairness.Report()
-		fmt.Fprintf(w, "# TYPE rlserv_fairness_score gauge\n")
+		promFamily(w, "rlserv_fairness_score", "Per-user fairness of tracked bounded-slowdown shares.", "gauge")
 		fmt.Fprintf(w, "rlserv_fairness_score{stat=%q} %g\n", "jain", rep.Jain)
 		fmt.Fprintf(w, "rlserv_fairness_score{stat=%q} %g\n", "max_mean_ratio", rep.MaxMeanRatio)
 		fmt.Fprintf(w, "rlserv_fairness_score{stat=%q} %g\n", "max_user_bsld", rep.Max)
 		fmt.Fprintf(w, "rlserv_fairness_score{stat=%q} %d\n", "users", rep.Users)
 	}
+}
+
+// handleDecisions serves the /debug/decisions ring: the n most recent
+// /place decisions (newest first, full per-plugin candidate traces) plus
+// the lifetime total. n defaults to 32; n=0 or n beyond the ring returns
+// everything retained.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	if s.ring == nil {
+		s.fail(w, http.StatusNotFound,
+			fmt.Errorf("serve: decision log not enabled (fleet mode without -decision-log -1)"))
+		return
+	}
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: bad n %q", q))
+			return
+		}
+		n = v
+		if n == 0 {
+			n = -1 // everything retained
+		}
+	}
+	out := struct {
+		Total     uint64                  `json:"total"`
+		Decisions []obs.PlacementDecision `json:"decisions"`
+	}{Total: s.ring.Total(), Decisions: s.ring.Last(n)}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -14,6 +14,7 @@ import (
 	"rlsched/internal/cluster"
 	"rlsched/internal/job"
 	"rlsched/internal/metrics"
+	"rlsched/internal/obs"
 )
 
 // DefaultMaxObserve is MAX_OBSV_SIZE in the paper: the scheduler sees at
@@ -95,6 +96,30 @@ type Simulator struct {
 	done       []*job.Job // append-only completion log, in completion order
 	now        float64
 	userProcs  map[int]int // processors currently held per user
+
+	// rec receives job lifecycle events (nil = disabled); recName tags
+	// them with the cluster's name. Both survive Load — a recorder watches
+	// the simulator, not one sequence. jobEvt is the reused emission
+	// buffer.
+	rec     obs.Recorder
+	recName string
+	jobEvt  obs.JobEvent
+}
+
+// SetRecorder attaches an observability recorder (nil detaches): the
+// simulator emits one cluster-tagged obs.JobEvent per lifecycle transition
+// — submit (arrival into the queue, preloaded or via Submit), start,
+// finish, and withdraw. Recording is passive and survives Load.
+func (s *Simulator) SetRecorder(r obs.Recorder, cluster string) {
+	s.rec = r
+	s.recName = cluster
+}
+
+// recordJob emits one lifecycle event at the current clock. Callers guard
+// on s.rec != nil so the untraced path pays a single branch.
+func (s *Simulator) recordJob(kind obs.JobEventKind, j *job.Job) {
+	s.jobEvt = obs.JobEvent{Kind: kind, Time: s.now, Cluster: s.recName, Job: obs.Ref(j)}
+	s.rec.Job(&s.jobEvt)
 }
 
 // New returns a simulator for the config.
@@ -211,8 +236,14 @@ func (s *Simulator) advanceTo(t float64) {
 			}
 			s.completed++
 			s.done = append(s.done, j)
+			if s.rec != nil {
+				s.recordJob(obs.JobFinish, j)
+			}
 		case 2:
 			s.pending = append(s.pending, s.seq[s.arrivalIdx])
+			if s.rec != nil {
+				s.recordJob(obs.JobSubmit, s.seq[s.arrivalIdx])
+			}
 			s.arrivalIdx++
 		}
 	}
@@ -256,6 +287,9 @@ func (s *Simulator) start(j *job.Job) {
 			s.pending = append(s.pending[:i], s.pending[i+1:]...)
 			break
 		}
+	}
+	if s.rec != nil {
+		s.recordJob(obs.JobStart, j)
 	}
 }
 

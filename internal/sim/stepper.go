@@ -5,6 +5,7 @@ import (
 
 	"rlsched/internal/job"
 	"rlsched/internal/metrics"
+	"rlsched/internal/obs"
 )
 
 // This file is the incremental stepping surface of the simulator, used by
@@ -62,6 +63,9 @@ func (s *Simulator) Submit(j *job.Job) error {
 	insertOrdered(&s.seq, j)
 	s.arrivalIdx = len(s.seq)
 	insertOrdered(&s.pending, j)
+	if s.rec != nil {
+		s.recordJob(obs.JobSubmit, j)
+	}
 	return nil
 }
 
@@ -108,6 +112,9 @@ func (s *Simulator) Withdraw(id int) (*job.Job, error) {
 			}
 		}
 		s.arrivalIdx = len(s.seq)
+		if s.rec != nil {
+			s.recordJob(obs.JobWithdraw, j)
+		}
 		return j, nil
 	}
 	return nil, fmt.Errorf("sim: job %d is not pending (never submitted, already started, or withdrawn)", id)
