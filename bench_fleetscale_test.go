@@ -1,0 +1,122 @@
+package main_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rlsched/internal/fleet"
+	"rlsched/internal/job"
+	"rlsched/internal/sched"
+	"rlsched/internal/sim"
+	"rlsched/internal/trace"
+)
+
+// The fleet scalability suite (DESIGN.md §10): end-to-end Fleet.Run at
+// 1k/5k/10k members, event-heap stepping against the naive full-sweep
+// reference, reporting placements/s and mean per-arrival sweep latency.
+// BENCH_fleetscale.json pins the 10k trajectory (with the speedup over
+// full-sweep) next to the BENCH_fleetplace.json decision-path baseline.
+
+// fleetScaleArrivals is the routed stream length of every scale point —
+// long enough that per-run fleet reset cost is noise against steady-state
+// placement throughput.
+const fleetScaleArrivals = 4000
+
+// fleetScaleMembers synthesizes an n-member fleet from the experiment
+// size template ([256, 128, 64] cycling, SJF + EASY backfill, fresh
+// scheduler per member — required with parallel stepping).
+func fleetScaleMembers(n int) []fleet.MemberConfig {
+	sizes := []int{256, 128, 64}
+	members := make([]fleet.MemberConfig, n)
+	for i := range members {
+		members[i] = fleet.MemberConfig{
+			Name:      fmt.Sprintf("c%05d", i),
+			Sim:       sim.Config{Processors: sizes[i%3], Backfill: true, MaxObserve: 32},
+			Scheduler: sched.SJF(),
+		}
+	}
+	return members
+}
+
+// fleetScaleStream samples the arrival stream, clamped so every member
+// size is feasible (the filter phase stays a ranking problem, not a
+// capacity cliff).
+func fleetScaleStream() []*job.Job {
+	tr := trace.Preset("Lublin-1", fleetScaleArrivals+64, 33)
+	rng := rand.New(rand.NewSource(33))
+	stream := tr.SampleWindow(rng, fleetScaleArrivals)
+	for _, j := range stream {
+		if j.RequestedProcs > 64 {
+			j.RequestedProcs = 64
+		}
+	}
+	return stream
+}
+
+func cloneFleetStream(stream []*job.Job) []*job.Job {
+	out := make([]*job.Job, len(stream))
+	for i, j := range stream {
+		out[i] = j.Clone()
+	}
+	return out
+}
+
+// fleetScaleRate caches measured placements/s per (scale, fullSweep) so
+// the 10k snapshot can report its speedup over the full-sweep reference
+// when both sub-benchmarks ran.
+var fleetScaleRate = map[string]float64{}
+
+func fleetScaleKey(n int, fullSweep bool) string {
+	return fmt.Sprintf("%d-%t", n, fullSweep)
+}
+
+func benchmarkFleetScale(b *testing.B, n int, fullSweep bool, snapshot string) {
+	members := fleetScaleMembers(n)
+	stream := fleetScaleStream()
+	f, err := fleet.New(members, fleet.BinpackPipeline())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.SetFullSweep(fullSweep)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Run(cloneFleetStream(stream)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	placed := float64(b.N * len(stream))
+	rate := placed / b.Elapsed().Seconds()
+	sweepUS := b.Elapsed().Seconds() / placed * 1e6
+	b.ReportMetric(rate, "placements/s")
+	b.ReportMetric(sweepUS, "sweep-µs")
+	fleetScaleRate[fleetScaleKey(n, fullSweep)] = rate
+	if snapshot == "" {
+		return
+	}
+	metrics := map[string]float64{
+		"members":          float64(n),
+		"arrivals":         float64(len(stream)),
+		"placements_per_s": rate,
+		"sweep_us":         sweepUS,
+	}
+	if ref, ok := fleetScaleRate[fleetScaleKey(n, true)]; ok && !fullSweep && ref > 0 {
+		metrics["fullsweep_placements_per_s"] = ref
+		metrics["speedup_x"] = rate / ref
+	}
+	writeBenchSnapshot(b, snapshot, metrics)
+}
+
+// BenchmarkFleetScale is the fleet-size scaling suite. The n=* points run
+// the event-heap path; fullsweep-10k is the naive reference the 10k
+// speedup is measured against (run it first, as the full suite does, and
+// the n=10k snapshot records the ratio). CI smoke runs the reduced n=1k
+// point; the checked-in BENCH_fleetscale.json comes from the 10k pair.
+func BenchmarkFleetScale(b *testing.B) {
+	b.Run("n=1k", func(b *testing.B) { benchmarkFleetScale(b, 1000, false, "fleetscale_1k") })
+	b.Run("n=5k", func(b *testing.B) { benchmarkFleetScale(b, 5000, false, "fleetscale_5k") })
+	b.Run("fullsweep-10k", func(b *testing.B) { benchmarkFleetScale(b, 10000, true, "fleetscale_fullsweep") })
+	b.Run("n=10k", func(b *testing.B) { benchmarkFleetScale(b, 10000, false, "fleetscale") })
+}

@@ -7,12 +7,14 @@
 //     repository (external http/https/mailto links are not fetched — CI
 //     must not depend on the network).
 //
-//  2. Godoc coverage: every exported identifier in internal/fleet, in
-//     internal/metrics, and in the internal/sim incremental stepping
-//     surface (stepper.go) must carry a doc comment, so `go doc` stays a
-//     complete reference for the placement/migration/fairness subsystem
-//     and the metric surface it optimizes. New exported API without
-//     documentation fails CI — coverage can only regress loudly.
+//  2. Godoc coverage: every exported identifier in internal/fleet,
+//     internal/metrics, internal/obs and internal/cluster, and in the
+//     internal/sim incremental stepping surface (stepper.go), must carry
+//     a doc comment, so `go doc` stays a complete reference for the
+//     placement/migration/fairness subsystem, the metric surface it
+//     optimizes, and the event-heap stepping substrate underneath it.
+//     New exported API without documentation fails CI — coverage can
+//     only regress loudly.
 //
 // Usage: go run ./cmd/docscheck [repo-root]
 package main
@@ -37,6 +39,7 @@ var godocTargets = []struct {
 	dir  string
 	file string
 }{
+	{dir: "internal/cluster"},
 	{dir: "internal/fleet"},
 	{dir: "internal/metrics"},
 	{dir: "internal/obs"},

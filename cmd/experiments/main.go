@@ -53,6 +53,8 @@ func main() {
 	traceJobs := flag.Int("trace-jobs", 0, "override synthesized trace length")
 	iters := flag.Int("iters", 0, "override PPO policy/value iterations")
 	workers := flag.Int("workers", 0, "parallel rollout workers for training runs (0 = GOMAXPROCS)")
+	clusters := flag.Int("clusters", 0,
+		"scale fleet experiments to N member clusters by cycling each scenario's size template (0 = pinned default fleet)")
 	migrate := flag.String("migrate", "",
 		"cross-cluster migration policy for fleet experiments: off|hysteresis|always")
 	tracePath := flag.String("trace", "",
@@ -135,6 +137,9 @@ func main() {
 	}
 	if *workers > 0 {
 		o.Workers = *workers
+	}
+	if *clusters > 0 {
+		o.Clusters = *clusters
 	}
 	o.Migrate = *migrate
 

@@ -18,10 +18,25 @@ type Cluster struct {
 	used  map[int][]int // job ID -> allocated node IDs
 	busy  int           // processors currently allocated
 
-	// busyTime integrates (allocated processors × seconds) as the
-	// simulation clock advances, for utilization accounting.
-	busyTime float64
-	lastTime float64
+	// busyTime integrates (allocated processors × seconds) for
+	// utilization accounting. Accrual is lazy: AdvanceTo only moves the
+	// clock, and the integral is extended at the points where the busy
+	// count changes (Allocate/Release) or a total is read. This makes
+	// busyTime a function of the allocation history alone — how many
+	// intermediate AdvanceTo calls a driver issues cannot perturb the
+	// floating-point sum, which the fleet's event-heap stepping relies
+	// on for byte-identical results against the full-sweep reference.
+	busyTime    float64
+	lastTime    float64 // current accounting clock
+	accrualTime float64 // clock value busyTime has been integrated up to
+}
+
+// accrue extends the busy-time integral up to the current clock.
+func (c *Cluster) accrue() {
+	if c.lastTime > c.accrualTime {
+		c.busyTime += float64(c.busy) * (c.lastTime - c.accrualTime)
+		c.accrualTime = c.lastTime
+	}
 }
 
 // New returns an idle cluster with n processors.
@@ -57,6 +72,7 @@ func (c *Cluster) Allocate(jobID, n int) ([]int, error) {
 	if !c.CanAllocate(n) {
 		return nil, fmt.Errorf("cluster: cannot allocate %d procs (%d free)", n, len(c.free))
 	}
+	c.accrue()
 	nodes := make([]int, n)
 	copy(nodes, c.free[:n])
 	c.free = c.free[n:]
@@ -71,6 +87,7 @@ func (c *Cluster) Release(jobID int) error {
 	if !ok {
 		return fmt.Errorf("cluster: job %d holds no allocation", jobID)
 	}
+	c.accrue()
 	delete(c.used, jobID)
 	c.free = append(c.free, nodes...)
 	sort.Ints(c.free)
@@ -78,18 +95,22 @@ func (c *Cluster) Release(jobID int) error {
 	return nil
 }
 
-// AdvanceTo moves the accounting clock to time t, accumulating busy
-// processor-seconds. Calls must be monotone in t.
+// AdvanceTo moves the accounting clock to time t. Calls must be monotone
+// in t; busy processor-seconds accrue lazily at the next allocation
+// change or accounting read, so skipping intermediate advances is exact.
 func (c *Cluster) AdvanceTo(t float64) {
 	if t < c.lastTime {
 		return
 	}
-	c.busyTime += float64(c.busy) * (t - c.lastTime)
 	c.lastTime = t
 }
 
-// BusyTime returns the accumulated busy processor-seconds.
-func (c *Cluster) BusyTime() float64 { return c.busyTime }
+// BusyTime returns the accumulated busy processor-seconds up to the
+// current accounting clock.
+func (c *Cluster) BusyTime() float64 {
+	c.accrue()
+	return c.busyTime
+}
 
 // Utilization returns busyTime / (total × horizon) over [start, end].
 func (c *Cluster) Utilization(start, end float64) float64 {
@@ -97,6 +118,7 @@ func (c *Cluster) Utilization(start, end float64) float64 {
 	if span <= 0 {
 		return 0
 	}
+	c.accrue()
 	u := c.busyTime / (float64(c.total) * span)
 	if u < 0 {
 		return 0
@@ -121,6 +143,7 @@ func (c *Cluster) Reset() {
 	c.busy = 0
 	c.busyTime = 0
 	c.lastTime = 0
+	c.accrualTime = 0
 }
 
 // CheckInvariants verifies conservation of processors; the simulator's

@@ -43,6 +43,11 @@ type Options struct {
 	// run (0 = GOMAXPROCS). Any value yields bit-identical results;
 	// only wall-clock changes.
 	Workers int
+	// Clusters, when > 0, scales every fleet scenario to that many member
+	// clusters by cycling the scenario's size/scheduler template (the
+	// event-heap placement path keeps per-arrival cost sublinear in this
+	// number). 0 keeps each scenario's pinned default fleet.
+	Clusters int
 	// Migrate selects the cross-cluster migration policy fleet
 	// experiments apply to score-capable routers: "" or "off" (one-shot
 	// placement), "hysteresis", or "always" (see internal/fleet and the

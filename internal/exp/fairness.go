@@ -98,11 +98,11 @@ func fairnessStreams(o Options, seed int64) [][]*job.Job {
 // per-user unfairness mechanism, and a starved job sits *unselected* in
 // the queue where a sweep can still withdraw it) and F1 on the small one.
 func fairnessMembers(o Options) []fleet.MemberConfig {
-	return []fleet.MemberConfig{
+	return synthesizeFleet(o, []fleet.MemberConfig{
 		{Name: "large-256", Sim: sim.Config{Processors: 256, Backfill: true, MaxObserve: o.MaxObserve}, Scheduler: sched.SJF()},
 		{Name: "mid-128", Sim: sim.Config{Processors: 128, Backfill: true, MaxObserve: o.MaxObserve}, Scheduler: sched.SJF()},
 		{Name: "small-64", Sim: sim.Config{Processors: 64, Backfill: true, MaxObserve: o.MaxObserve}, Scheduler: sched.F1()},
-	}
+	})
 }
 
 // fairnessMigration is the repair-sweep policy the fairness subsystem (and
@@ -304,6 +304,15 @@ func FleetFairness(o Options) ([]Artifact, error) {
 	t.Notes = append(t.Notes, note)
 
 	if len(violations) > 0 {
+		// The fairness-win claims pin the default three-member scenario;
+		// a -clusters synthesized fleet spreads contention thin enough
+		// that they may legitimately not hold (determinism must, always).
+		if o.Clusters > 0 && deterministic {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"self-check relaxed at %d synthesized clusters: %s",
+				o.Clusters, violations[0]))
+			return []Artifact{t}, nil
+		}
 		return []Artifact{t}, fmt.Errorf("fleet-fairness: self-check failed: %s", violations[0])
 	}
 	return []Artifact{t}, nil

@@ -22,11 +22,33 @@ func init() {
 // the placement layer. Fresh simulators per call; schedulers may be
 // shared across calls (placement is serial).
 func fleetMembers(o Options, rlSched sim.Scheduler) []fleet.MemberConfig {
-	return []fleet.MemberConfig{
+	return synthesizeFleet(o, []fleet.MemberConfig{
 		{Name: "large-256", Sim: sim.Config{Processors: 256, MaxObserve: o.MaxObserve}, Scheduler: rlSched},
 		{Name: "mid-128", Sim: sim.Config{Processors: 128, MaxObserve: o.MaxObserve}, Scheduler: sched.SJF()},
 		{Name: "small-64", Sim: sim.Config{Processors: 64, MaxObserve: o.MaxObserve}, Scheduler: sched.F1()},
+	})
+}
+
+// synthesizeFleet scales a scenario's member template to o.Clusters
+// members by cycling it (names gain a unique ordinal suffix). Scheduler
+// instances are shared between the synthesized members of one template
+// slot, which is safe because experiment fleets step members serially.
+// Clusters <= 0 returns the template untouched, preserving every pinned
+// scenario fleet.
+func synthesizeFleet(o Options, base []fleet.MemberConfig) []fleet.MemberConfig {
+	if o.Clusters <= 0 {
+		return base
 	}
+	members := make([]fleet.MemberConfig, o.Clusters)
+	for i := range members {
+		t := base[i%len(base)]
+		members[i] = fleet.MemberConfig{
+			Name:      fmt.Sprintf("%s-%04d", t.Name, i),
+			Sim:       t.Sim,
+			Scheduler: t.Scheduler,
+		}
+	}
+	return members
 }
 
 // fleetStreams samples the shared evaluation arrival streams: every router
@@ -128,6 +150,9 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 				}
 			}
 			var bsldSum, utilSum float64
+			// Placement counts aggregate by template slot: a -clusters
+			// synthesized fleet cycles the 3-size template, so slot i%3 is
+			// still the large/mid/small size class.
 			counts := make([]int, 3)
 			var firstAssign []int
 			for _, st := range streams {
@@ -138,7 +163,7 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 				bsldSum += metrics.Value(metrics.BoundedSlowdown, res.Fleet)
 				utilSum += res.Fleet.Utilization
 				for i, c := range res.Clusters {
-					counts[i] += c.Placements
+					counts[i%len(counts)] += c.Placements
 				}
 				if firstAssign == nil {
 					firstAssign = res.Assignments

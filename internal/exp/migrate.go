@@ -22,11 +22,11 @@ func init() {
 // no training run). FCFS on the large cluster makes head-of-line blocking
 // — the canonical stranding mechanism — possible.
 func migrationMembers(o Options) []fleet.MemberConfig {
-	return []fleet.MemberConfig{
+	return synthesizeFleet(o, []fleet.MemberConfig{
 		{Name: "large-256", Sim: sim.Config{Processors: 256, MaxObserve: o.MaxObserve}, Scheduler: sched.FCFS()},
 		{Name: "mid-128", Sim: sim.Config{Processors: 128, MaxObserve: o.MaxObserve}, Scheduler: sched.SJF()},
 		{Name: "small-64", Sim: sim.Config{Processors: 64, MaxObserve: o.MaxObserve}, Scheduler: sched.F1()},
-	}
+	})
 }
 
 // migrationStreams extends the fleet-placement workload-shift stream with
@@ -204,6 +204,14 @@ func FleetMigration(o Options) ([]Artifact, error) {
 		t.Notes = append(t.Notes, fmt.Sprintf(
 			"migration win verified: hysteresis %.2f < no-migration %.2f fleet bsld under the shift stream",
 			bslds["hysteresis"], bslds["no-migration"]))
+	} else if o.Clusters > 0 {
+		// The migration-win check pins the default three-member scenario.
+		// A -clusters synthesized fleet spreads the same workload over
+		// more capacity, so stranding (and thus any migration win) may
+		// legitimately vanish; report, don't fail.
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"migration win not expected at %d synthesized clusters: hysteresis %.2f vs no-migration %.2f",
+			o.Clusters, bslds["hysteresis"], bslds["no-migration"]))
 	} else {
 		t.Notes = append(t.Notes, fmt.Sprintf(
 			"migration win VIOLATED: hysteresis %.2f >= no-migration %.2f",

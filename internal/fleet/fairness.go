@@ -36,7 +36,11 @@ import (
 // Reset starts a fresh run, Observe folds in a job some member finished.
 // The fleet feeds completions in a deterministic order (members in index
 // order, each member's completions in completion order), so stateful
-// scoring stays reproducible run-to-run.
+// scoring stays reproducible run-to-run. Under event-heap stepping (§10)
+// the feed reads only the log tails of members woken since the last
+// placement — a member with no events cannot have completed anything —
+// which is index-ordered over the wake list and therefore identical to
+// the full scan the full-sweep reference performs.
 type StateScorer interface {
 	Scorer
 	// Reset clears all accumulated state (a new Run starts).

@@ -13,6 +13,7 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 
 	"rlsched/internal/job"
 	"rlsched/internal/metrics"
@@ -23,22 +24,28 @@ import (
 // Candidate is one member cluster's state at a placement instant — the
 // view Filter and Scorer plugins consume.
 type Candidate struct {
-	// Index is the member's position in the fleet.
-	Index int
-	// Name identifies the cluster in results and metrics.
-	Name string
-	// Now is the member's clock (the global placement instant).
-	Now float64
+	// The resource and load fields lead the struct so the capacity-filter
+	// and load-scorer passes — which stride the fleet's contiguous
+	// candidate store at every placement — touch as few cache lines per
+	// candidate as possible.
+
 	// View is the member's resource state.
 	View sim.ClusterView
-	// Visible is the member's scheduler-visible pending queue (FCFS
-	// order); Pending is the full backlog length.
-	Visible []*job.Job
+	// Pending is the full backlog length.
 	Pending int
 	// PendingWork is Σ requested_time·procs over the backlog;
 	// RunningWork is the committed remaining work area of running jobs.
 	PendingWork float64
 	RunningWork float64
+	// Now is the member's clock (the global placement instant). Routers
+	// that never read it can declare the ClockFree capability.
+	Now float64
+	// Index is the member's position in the fleet.
+	Index int
+	// Name identifies the cluster in results and metrics.
+	Name string
+	// Visible is the member's scheduler-visible pending queue (FCFS order).
+	Visible []*job.Job
 }
 
 // Router picks the cluster an arriving job is routed to, returning an
@@ -86,6 +93,13 @@ type member struct {
 	movedIn    int
 	movedOut   int
 	doneCursor int
+	// stamp versions the member's entry in the fleet event heap (heap.go):
+	// entries pushed under an older stamp are stale.
+	stamp uint64
+	// syncs counts syncTo calls on this member — the step-counting hook
+	// the idle-members regression test asserts on. Written by at most one
+	// goroutine at a time (stepWake blocks are disjoint).
+	syncs int
 }
 
 // pump applies local scheduling decisions at the current instant without
@@ -173,6 +187,27 @@ type Fleet struct {
 	rec      obs.Recorder
 	explain  obs.Explain
 	placeEvt obs.PlacementDecision
+
+	// Event-heap stepping state (heap.go). candStore is the contiguous
+	// backing array of cands; sims mirrors members for pointer-chase-free
+	// hot loops; active[i] records whether member i holds allocations.
+	// fullSweep selects the pre-heap reference path and workers the
+	// parallel-stepping width (parallel.go).
+	fullSweep bool
+	workers   int
+	// clockFree records that the router declared (via the ClockFree
+	// capability) that it never reads Candidate.Now, letting candidatesAt
+	// skip the fleet-wide clock refresh.
+	clockFree bool
+	events    eventHeap
+	wake      []int
+	sims      []*sim.Simulator
+	candStore []Candidate
+	active    []bool
+	dirtyFlag []bool
+	dirtyList []int
+	obsFlag   []bool
+	obsList   []int
 }
 
 // New assembles a fleet. Members must have distinct names.
@@ -202,10 +237,23 @@ func New(members []MemberConfig, router Router) (*Fleet, error) {
 			sim:   sim.New(mc.Sim),
 			sched: mc.Scheduler,
 		})
-		f.cands = append(f.cands, &Candidate{Index: i, Name: mc.Name})
+	}
+	n := len(f.members)
+	f.candStore = make([]Candidate, n)
+	f.sims = make([]*sim.Simulator, n)
+	f.active = make([]bool, n)
+	f.dirtyFlag = make([]bool, n)
+	f.obsFlag = make([]bool, n)
+	for i, m := range f.members {
+		f.candStore[i] = Candidate{Index: i, Name: m.name}
+		f.cands = append(f.cands, &f.candStore[i])
+		f.sims[i] = m.sim
 	}
 	if sp, ok := router.(interface{ StateScorers() []StateScorer }); ok {
 		f.stateful = sp.StateScorers()
+	}
+	if cf, ok := router.(ClockFree); ok && cf.ClockFree() {
+		f.clockFree = true
 	}
 	return f, nil
 }
@@ -280,9 +328,13 @@ func (f *Fleet) placeRecorded(j *job.Job, cands []*Candidate) int {
 }
 
 // reset returns every member to an idle cluster at t=0 and clears all
-// stateful-scorer state.
+// stateful-scorer and event-heap state (a Fleet is reusable across Runs).
 func (f *Fleet) reset() error {
-	for _, m := range f.members {
+	f.events = f.events[:0]
+	f.wake = f.wake[:0]
+	f.dirtyList = f.dirtyList[:0]
+	f.obsList = f.obsList[:0]
+	for i, m := range f.members {
 		if err := m.sim.Load(nil); err != nil {
 			return err
 		}
@@ -291,6 +343,12 @@ func (f *Fleet) reset() error {
 		m.movedIn = 0
 		m.movedOut = 0
 		m.doneCursor = 0
+		m.stamp++
+		m.syncs = 0
+		f.active[i] = false
+		f.obsFlag[i] = false
+		f.dirtyFlag[i] = false
+		f.markDirty(i)
 	}
 	for _, s := range f.stateful {
 		s.Reset()
@@ -301,12 +359,17 @@ func (f *Fleet) reset() error {
 // observeCompletions feeds every completion since the last call to the
 // stateful scorers, members in index order, each member's completions in
 // completion order — a deterministic stream, so stateful placement is
-// reproducible run-to-run.
+// reproducible run-to-run. Only members marked observation-pending
+// (markObs — the ones an advance actually woke) are read: a member no
+// event touched cannot have new completions, so the stream is identical
+// to scanning the whole fleet.
 func (f *Fleet) observeCompletions() {
-	if len(f.stateful) == 0 {
+	if len(f.stateful) == 0 || len(f.obsList) == 0 {
 		return
 	}
-	for i, m := range f.members {
+	sort.Ints(f.obsList)
+	for _, i := range f.obsList {
+		m := f.members[i]
 		log := m.sim.Completions()
 		for _, j := range log[m.doneCursor:] {
 			for _, s := range f.stateful {
@@ -314,21 +377,9 @@ func (f *Fleet) observeCompletions() {
 			}
 		}
 		m.doneCursor = len(log)
+		f.obsFlag[i] = false
 	}
-}
-
-// candidates refreshes the plugin-visible state of every member.
-func (f *Fleet) candidates() []*Candidate {
-	for i, m := range f.members {
-		c := f.cands[i]
-		c.Now = m.sim.Now()
-		c.View = m.sim.View()
-		c.Visible = m.sim.Visible()
-		c.Pending = m.sim.PendingCount()
-		c.PendingWork = m.sim.PendingWork()
-		c.RunningWork = m.sim.RunningWork()
-	}
-	return f.cands
+	f.obsList = f.obsList[:0]
 }
 
 // ClusterResult is one member's share of a fleet run.
@@ -391,13 +442,11 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 				return nil, err
 			}
 		}
-		for _, m := range f.members {
-			if err := m.syncTo(j.SubmitTime); err != nil {
-				return nil, err
-			}
+		if err := f.advanceMembers(j.SubmitTime); err != nil {
+			return nil, err
 		}
 		f.observeCompletions()
-		cands := f.candidates()
+		cands := f.candidatesAt(j.SubmitTime)
 		var k int
 		if f.rec != nil {
 			k = f.placeRecorded(j, cands)
@@ -414,6 +463,11 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 				f.router.Name(), j.ID, j.RequestedProcs)
 		}
 		m := f.members[k]
+		// The picked member may not have been woken: bring its clock to
+		// the arrival instant first. It has no events due (those woke it),
+		// so this fires nothing, and the pre-submit pump the full sweep
+		// used to run is a no-op at fixpoint — Submit is the state change.
+		m.sim.AdvanceClock(j.SubmitTime)
 		if err := m.sim.Submit(j); err != nil {
 			return nil, fmt.Errorf("fleet: route to %s: %w", m.name, err)
 		}
@@ -422,33 +476,39 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 		if err := m.pump(); err != nil {
 			return nil, err
 		}
+		f.markDirty(k)
+		f.touch(k)
 	}
 	res := &Result{Assignments: assignments}
-	if mig != nil {
-		if err := f.drainMigrating(mig); err != nil {
-			return nil, err
-		}
-	} else {
-		for _, m := range f.members {
-			if err := m.drain(); err != nil {
-				return nil, err
-			}
-		}
-	}
 	// Utilization must be measured over one shared fleet horizon: a
 	// member whose first routed job arrives late (or that runs dry
 	// early) would otherwise report its busy fraction over a shorter
-	// private window and bias the processor-weighted merge.
+	// private window and bias the processor-weighted merge. The horizon
+	// end is the last fleet event (tracked while draining off the heap —
+	// a member the drain never woke has been idle since before the last
+	// arrival), or the last arrival itself on an event-free tail.
 	start := stream[0].SubmitTime
-	end := start
-	for _, m := range f.members {
-		if t := m.sim.Now(); t > end {
-			end = t
-		}
+	end := prev
+	var drainEnd float64
+	var err error
+	if mig != nil {
+		drainEnd, err = f.drainMigrating(mig)
+	} else {
+		drainEnd, err = f.drainAll()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if drainEnd > end {
+		end = drainEnd
 	}
 	results := make([]metrics.Result, len(f.members))
 	procs := make([]int, len(f.members))
 	for i, m := range f.members {
+		if m.committed != nil {
+			return nil, fmt.Errorf("fleet: %s: job %d (%d procs) can never start",
+				m.name, m.committed.ID, m.committed.RequestedProcs)
+		}
 		m.sim.AdvanceClock(end)
 		results[i] = m.sim.Result()
 		results[i].Utilization = m.sim.UtilizationOver(start, end)

@@ -151,13 +151,12 @@ func newMigrator(cfg MigrationConfig, router ScoredRouter, firstArrival float64)
 }
 
 // sweepUntil runs every sweep due at or before global time t, advancing
-// all members to each sweep instant first.
+// the fleet (members with events due — heap.go) to each sweep instant
+// first.
 func (f *Fleet) sweepUntil(mig *migrator, t float64) error {
 	for mig.nextSweep <= t {
-		for _, m := range f.members {
-			if err := m.syncTo(mig.nextSweep); err != nil {
-				return err
-			}
+		if err := f.advanceMembers(mig.nextSweep); err != nil {
+			return err
 		}
 		if err := f.sweep(mig, mig.nextSweep); err != nil {
 			return err
@@ -174,14 +173,22 @@ func (f *Fleet) sweepUntil(mig *migrator, t float64) error {
 func (f *Fleet) sweep(mig *migrator, now float64) error {
 	// Stateful scorers (the fairness plugin) see every completion up to
 	// the sweep instant before any re-placement is scored, so sweeps
-	// repair fairness on the same signals arrivals are placed with.
+	// repair fairness on the same signals arrivals are placed with. The
+	// snapshot rides the candidate cache: a refreshed Pending count says
+	// which members hold a backlog at all, so an idle member costs one
+	// integer compare instead of a queue copy.
 	f.observeCompletions()
+	cands := f.candidatesAt(now)
 	snap := mig.snap[:0]
-	for i, m := range f.members {
+	for i := range f.members {
+		var vis []*job.Job
+		if cands[i].Pending > 0 {
+			vis = cands[i].Visible
+		}
 		if i < len(mig.snap) {
-			snap = append(snap, append(mig.snap[i][:0], m.sim.Visible()...))
+			snap = append(snap, append(mig.snap[i][:0], vis...))
 		} else {
-			snap = append(snap, append([]*job.Job(nil), m.sim.Visible()...))
+			snap = append(snap, append([]*job.Job(nil), vis...))
 		}
 	}
 	mig.snap = snap
@@ -230,7 +237,8 @@ func (f *Fleet) tryMove(mig *migrator, src int, j *job.Job, now float64) (bool, 
 	if _, err := srcM.sim.Withdraw(j.ID); err != nil {
 		return false, fmt.Errorf("fleet: migrate from %s: %w", srcM.name, err)
 	}
-	cands := f.candidates()
+	f.markDirty(src)
+	cands := f.candidatesAt(now)
 	if cap(mig.scores) < len(cands) {
 		mig.scores = make([]float64, len(cands))
 	}
@@ -273,9 +281,15 @@ func (f *Fleet) tryMove(mig *migrator, src int, j *job.Job, now float64) (bool, 
 		mig.rec.Migration(p)
 	}
 	m := f.members[dst]
+	// The destination may not have been woken at the sweep instant (no
+	// events due), so its clock can trail `now`: advance it first — a
+	// pure clock move, nothing fires — so Submit and the pump below act
+	// at the sweep instant exactly as under the full sweep.
+	m.sim.AdvanceClock(now)
 	if err := m.sim.Submit(j); err != nil {
 		return false, fmt.Errorf("fleet: migrate to %s: %w", m.name, err)
 	}
+	f.markDirty(dst)
 	if dst == src {
 		// Not worth moving: the resubmission restored the exact
 		// pre-withdraw state (pinned by sim's withdraw/resubmit parity
@@ -299,13 +313,20 @@ func (f *Fleet) tryMove(mig *migrator, src int, j *job.Job, now float64) (bool, 
 	if err := m.pump(); err != nil {
 		return true, err
 	}
+	f.touch(dst)
 	if wasCommitted {
 		// The source's pick genuinely left: let its policy re-pick (and
 		// backfill) at this instant, exactly as sim.Run would after a
-		// queue change.
+		// queue change. Time-dependent policies must see the sweep
+		// instant, so bring a trailing clock up first (again a pure move).
+		srcM.sim.AdvanceClock(now)
 		srcM.committed = nil
-		return true, srcM.pump()
+		if err := srcM.pump(); err != nil {
+			return true, err
+		}
+		f.markDirty(src)
 	}
+	f.touch(src)
 	return true, nil
 }
 
@@ -326,37 +347,36 @@ func (mig *migrator) skipProbe(f *Fleet, src int, j *job.Job, now float64, reaso
 // drainMigrating runs every member to completion after the last arrival,
 // keeping the fleet time-synchronized so re-placement sweeps continue
 // while backlogs drain — the window where stranded jobs gain the most.
-func (f *Fleet) drainMigrating(mig *migrator) error {
+// The next fleet event comes from the event heap (a peek, not a member
+// scan) and each step wakes only the members due; the returned time is
+// the last event processed — the fleet horizon candidate.
+func (f *Fleet) drainMigrating(mig *migrator) (float64, error) {
+	end := 0.0
 	for {
-		next := 0.0
-		any := false
-		for _, m := range f.members {
-			if t, ok := m.sim.NextEventTime(); ok && (!any || t < next) {
-				next, any = t, true
-			}
-		}
+		next, any := f.nextFleetEvent()
 		if !any {
 			for _, m := range f.members {
 				if err := m.pump(); err != nil {
-					return err
+					return 0, err
 				}
 				if m.committed != nil {
-					return fmt.Errorf("fleet: %s: job %d (%d procs) can never start",
+					return 0, fmt.Errorf("fleet: %s: job %d (%d procs) can never start",
 						m.name, m.committed.ID, m.committed.RequestedProcs)
 				}
 			}
-			return nil
+			return end, nil
 		}
 		if mig.nextSweep <= next {
 			if err := f.sweepUntil(mig, mig.nextSweep); err != nil {
-				return err
+				return 0, err
 			}
 			continue
 		}
-		for _, m := range f.members {
-			if err := m.syncTo(next); err != nil {
-				return err
-			}
+		if err := f.advanceMembers(next); err != nil {
+			return 0, err
+		}
+		if next > end {
+			end = next
 		}
 	}
 }

@@ -57,6 +57,19 @@ type pipelineScratch struct {
 	cands    []*Candidate
 	raw      []float64
 	total    []float64
+	// ident caches the ascending index sequence 0..n-1, handed out as the
+	// feasible list when no candidate was filtered — the common case at
+	// fleet scale, where writing a 10k-entry index list per placement is
+	// pure waste. Callers must never append through it.
+	ident []int
+}
+
+// identity returns the cached 0..n-1 index slice, growing it on demand.
+func (sc *pipelineScratch) identity(n int) []int {
+	for i := len(sc.ident); i < n; i++ {
+		sc.ident = append(sc.ident, i)
+	}
+	return sc.ident[:n]
 }
 
 // NewPipeline assembles a placement pipeline.
@@ -104,23 +117,7 @@ func (p *Pipeline) place(j *job.Job, cands []*Candidate, scores []float64, ex *o
 		}
 	}
 
-	feasible := sc.feasible[:0]
-next:
-	for i, c := range cands {
-		for _, f := range p.Filters {
-			if !f.Feasible(j, c) {
-				if ex != nil {
-					ex.Candidates[i].FilteredBy = f.Name()
-				}
-				continue next
-			}
-		}
-		if ex != nil {
-			ex.Candidates[i].Feasible = true
-		}
-		feasible = append(feasible, i)
-	}
-	sc.feasible = feasible
+	feasible := p.filterPass(j, cands, sc, ex)
 
 	for i := range scores {
 		scores[i] = math.NaN()
@@ -144,24 +141,91 @@ next:
 	}
 	raw := sc.raw[:len(cands)]
 	total := sc.total[:len(cands)]
-	for i := range total {
-		total[i] = 0
+	// A single positive-weight scorer (the shape of every built-in
+	// pipeline) writes its normalized score directly instead of zeroing
+	// then accumulating — one fewer fleet-wide pass, bit-exact because
+	// x == 0+x and w*(sub-lo)/span is never -0 here: sub-lo cannot be -0
+	// under scoreBounds' signed-zero rule, and the weight is positive.
+	assign := len(p.Scorers) == 1 && p.Scorers[0].Weight > 0
+	if !assign {
+		for i := range total {
+			total[i] = 0
+		}
 	}
 
 	// Score plugins see only the feasible candidates, in candidate order.
-	feasCands := sc.cands[:0]
-	for _, i := range feasible {
-		feasCands = append(feasCands, cands[i])
+	// When everyone survived filtering — the common case at fleet scale,
+	// where capacity rarely knocks a cluster out — the candidate slice is
+	// passed through as-is and the normalize loops index it directly; the
+	// arithmetic (and thus every bit of every score) is identical, only the
+	// feasible→candidate indirection disappears.
+	allFeasible := len(feasible) == len(cands)
+	feasCands := cands
+	if !allFeasible {
+		fc := sc.cands[:0]
+		for _, i := range feasible {
+			fc = append(fc, cands[i])
+		}
+		sc.cands = fc
+		feasCands = fc
 	}
-	sc.cands = feasCands
 	sub := raw[:len(feasible)]
+	// Single positive-weight scorer with no score or trace reporting — the
+	// shape of every built-in pipeline on the Run arrival path. Min-max
+	// normalization by a positive weight is strictly monotone, so the
+	// argmax of the normalized totals is the argmax of the raw scores and
+	// the normalization passes (bounds, divide, accumulate) are skipped
+	// outright. Degenerate inputs match the normalized arithmetic exactly:
+	// all-equal scores leave the strict > argmax at the first feasible
+	// candidate, which is what all-zero totals select; and any NaN or ±Inf
+	// score (detected by v-v != 0) makes every normalized total +0 or NaN,
+	// which also selects the first feasible candidate.
+	if scores == nil && ex == nil && len(p.Scorers) == 1 && p.Scorers[0].Weight > 0 {
+		p.Scorers[0].Scorer.Score(j, feasCands, sub)
+		bv := sub[0]
+		if bv-bv != 0 {
+			return feasible[0]
+		}
+		bk := 0
+		for k := 1; k < len(sub); k++ {
+			v := sub[k]
+			if v-v != 0 {
+				return feasible[0]
+			}
+			if v > bv {
+				bv, bk = v, k
+			}
+		}
+		return feasible[bk]
+	}
 	for _, ws := range p.Scorers {
 		ws.Scorer.Score(j, feasCands, sub)
 		lo, hi := scoreBounds(sub)
 		span := hi - lo
 		if span > 0 {
-			for k, i := range feasible {
-				total[i] += ws.Weight * (sub[k] - lo) / span
+			switch {
+			case assign && allFeasible:
+				for i := range feasible {
+					total[i] = ws.Weight * (sub[i] - lo) / span
+				}
+			case assign:
+				for k, i := range feasible {
+					total[i] = ws.Weight * (sub[k] - lo) / span
+				}
+			case allFeasible:
+				for i := range feasible {
+					total[i] += ws.Weight * (sub[i] - lo) / span
+				}
+			default:
+				for k, i := range feasible {
+					total[i] += ws.Weight * (sub[k] - lo) / span
+				}
+			}
+		} else if assign {
+			// A constant (or NaN-poisoned) plugin contributes 0; the
+			// direct-write path must still produce it.
+			for _, i := range feasible {
+				total[i] = 0
 			}
 		}
 		// A constant plugin expresses no preference and contributes 0.
@@ -181,9 +245,17 @@ next:
 	}
 
 	best := feasible[0]
-	for _, i := range feasible[1:] {
-		if total[i] > total[best] {
-			best = i
+	if allFeasible {
+		for i := 1; i < len(total); i++ {
+			if total[i] > total[best] {
+				best = i
+			}
+		}
+	} else {
+		for _, i := range feasible[1:] {
+			if total[i] > total[best] {
+				best = i
+			}
 		}
 	}
 	if scores != nil {
@@ -205,16 +277,161 @@ next:
 	return best
 }
 
+// filterPass returns the indices of candidates that pass every filter.
+// The one-capacity-filter shape every built-in pipeline uses is
+// special-cased into a direct comparison loop — one interface call per
+// candidate is a measurable share of a 10k-member placement — with
+// verdicts identical to the generic path (which tracing runs still take,
+// since they want per-filter evidence). When nothing was filtered out the
+// scratch's cached identity slice is returned instead of materializing an
+// index list.
+func (p *Pipeline) filterPass(j *job.Job, cands []*Candidate, sc *pipelineScratch, ex *obs.Explain) []int {
+	if ex == nil && len(p.Filters) == 1 {
+		if _, ok := p.Filters[0].(CapacityFilter); ok {
+			req := j.RequestedProcs
+			k := 0
+			for ; k < len(cands); k++ {
+				if req > cands[k].View.TotalProcs {
+					break
+				}
+			}
+			if k == len(cands) {
+				return sc.identity(k)
+			}
+			feasible := append(sc.feasible[:0], sc.identity(k)...)
+			for i := k + 1; i < len(cands); i++ {
+				if req <= cands[i].View.TotalProcs {
+					feasible = append(feasible, i)
+				}
+			}
+			sc.feasible = feasible
+			return feasible
+		}
+	}
+	feasible := sc.feasible[:0]
+next:
+	for i, c := range cands {
+		for _, f := range p.Filters {
+			if !f.Feasible(j, c) {
+				if ex != nil {
+					ex.Candidates[i].FilteredBy = f.Name()
+				}
+				continue next
+			}
+		}
+		if ex != nil {
+			ex.Candidates[i].Feasible = true
+		}
+		feasible = append(feasible, i)
+	}
+	sc.feasible = feasible
+	return feasible
+}
+
+// ClockFree is the optional capability of placement plugins — and of whole
+// Routers — that never read Candidate.Now. The fleet skips refreshing the
+// per-candidate clock before clock-free routers (at 10k members that write
+// sweep is a measurable share of every placement); absence of the marker
+// means "may read the clock", so correctness is the default. Among the
+// built-ins, the capacity and backlog filters and the load-based scorers
+// are clock-free; RLScorer (observation encoding) and FairnessScorer
+// (share decay) read the clock and deliberately carry no marker.
+type ClockFree interface {
+	// ClockFree reports whether the plugin ignores Candidate.Now.
+	ClockFree() bool
+}
+
+// ClockFree implements the capability aggregate: a pipeline is clock-free
+// exactly when every filter and every scorer declares itself clock-free.
+func (p *Pipeline) ClockFree() bool {
+	for _, f := range p.Filters {
+		if cf, ok := f.(ClockFree); !ok || !cf.ClockFree() {
+			return false
+		}
+	}
+	for _, ws := range p.Scorers {
+		if cf, ok := ws.Scorer.(ClockFree); !ok || !cf.ClockFree() {
+			return false
+		}
+	}
+	return true
+}
+
 // scoreBounds returns the min and max of a non-empty score slice — the
 // shared first half of the min-max normalization both the pipeline (per
 // plugin, across feasible candidates) and the fairness scorer (its
 // internal baseline) apply. One implementation, so the two stretches
 // cannot silently diverge.
+//
+// The implementation replaces folding math.Min/math.Max (too slow for a
+// 10k-candidate pass — they dominated the fleet scale profile) but is
+// bit-identical to the fold: any NaN poisons both bounds exactly as the
+// fold would, and the fold's signed-zero choices (Min takes -0 over +0,
+// Max takes +0 over -0) are restored by a fixup scan in the only case
+// they can differ — a bound landing on zero. Two equal non-zero floats
+// share one bit pattern, so the main loop's strict comparisons are
+// otherwise exact; the fixup stays off the hot path, which matters
+// because placement scores tie constantly (idle same-size clusters).
 func scoreBounds(vals []float64) (lo, hi float64) {
+	// Two independent accumulator pairs break the loop-carried dependence
+	// on a single bound; min/max over a partition is the min/max overall,
+	// and the signed-zero fixups below repair the only combine ambiguity.
 	lo, hi = vals[0], vals[0]
-	for _, v := range vals[1:] {
-		lo = math.Min(lo, v)
-		hi = math.Max(hi, v)
+	lo2, hi2 := lo, hi
+	i := 1
+	for ; i+1 < len(vals); i += 2 {
+		v, w := vals[i], vals[i+1]
+		if v != v || w != w {
+			return math.NaN(), math.NaN()
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		if w < lo2 {
+			lo2 = w
+		}
+		if w > hi2 {
+			hi2 = w
+		}
+	}
+	if i < len(vals) {
+		v := vals[i]
+		if v != v {
+			return math.NaN(), math.NaN()
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo2 < lo {
+		lo = lo2
+	}
+	if hi2 > hi {
+		hi = hi2
+	}
+	if lo == 0 {
+		// The fold's Min yields -0 whenever any -0 is present.
+		for _, v := range vals {
+			if v == 0 && math.Signbit(v) {
+				lo = v
+				break
+			}
+		}
+	}
+	if hi == 0 {
+		// The fold's Max yields +0 whenever any +0 is present.
+		for _, v := range vals {
+			if v == 0 && !math.Signbit(v) {
+				hi = v
+				break
+			}
+		}
 	}
 	return lo, hi
 }
@@ -229,6 +446,9 @@ func (CapacityFilter) Name() string { return "capacity" }
 func (CapacityFilter) Feasible(j *job.Job, c *Candidate) bool {
 	return j.RequestedProcs <= c.View.TotalProcs
 }
+
+// ClockFree implements ClockFree: capacity never consults the clock.
+func (CapacityFilter) ClockFree() bool { return true }
 
 // BacklogFilter enforces a per-cluster admission quota: clusters whose
 // pending backlog has reached Max are infeasible (their queue is full).
@@ -245,6 +465,9 @@ func (f BacklogFilter) Name() string { return fmt.Sprintf("backlog<%d", f.Max) }
 func (f BacklogFilter) Feasible(_ *job.Job, c *Candidate) bool {
 	return f.Max <= 0 || c.Pending < f.Max
 }
+
+// ClockFree implements ClockFree: backlog depth never consults the clock.
+func (BacklogFilter) ClockFree() bool { return true }
 
 // load is the committed seconds of work per processor — the shared signal
 // of the load-based scorers.
@@ -265,6 +488,9 @@ func (LeastLoaded) Score(_ *job.Job, cands []*Candidate, out []float64) {
 		out[i] = -load(c)
 	}
 }
+
+// ClockFree implements ClockFree: load is clock-independent.
+func (LeastLoaded) ClockFree() bool { return true }
 
 // Binpack packs: among clusters with enough free processors right now it
 // prefers the tightest fit (preserving big free blocks for wide jobs);
@@ -288,6 +514,9 @@ func (Binpack) Score(j *job.Job, cands []*Candidate, out []float64) {
 	}
 }
 
+// ClockFree implements ClockFree: fit and load are clock-independent.
+func (Binpack) ClockFree() bool { return true }
+
 // QueueWait estimates the queuing delay the job would suffer: zero when
 // the cluster can start it immediately with an empty queue, otherwise the
 // committed work per processor (an optimistic drain-time bound).
@@ -306,6 +535,9 @@ func (QueueWait) Score(j *job.Job, cands []*Candidate, out []float64) {
 		out[i] = -load(c)
 	}
 }
+
+// ClockFree implements ClockFree: the drain-time bound is clock-independent.
+func (QueueWait) ClockFree() bool { return true }
 
 // RLScorer scores the job's marginal impact per cluster with a trained
 // policy network through the graph-free nn.Inferer fast path (the same

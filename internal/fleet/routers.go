@@ -42,6 +42,16 @@ func NewRandom(seed int64) *RandomRouter {
 // Name implements Router.
 func (r *RandomRouter) Name() string { return "random" }
 
+// ClockFree implements ClockFree: the router only reads capacity.
+func (r *RandomRouter) ClockFree() bool {
+	for _, f := range r.filters {
+		if cf, ok := f.(ClockFree); !ok || !cf.ClockFree() {
+			return false
+		}
+	}
+	return true
+}
+
 // Place implements Router.
 func (r *RandomRouter) Place(j *job.Job, cands []*Candidate) int {
 	r.buf = feasibleInto(r.buf, j, cands, r.filters)
@@ -65,6 +75,16 @@ func NewRoundRobin() *RoundRobin {
 
 // Name implements Router.
 func (r *RoundRobin) Name() string { return "round-robin" }
+
+// ClockFree implements ClockFree: the router only reads capacity.
+func (r *RoundRobin) ClockFree() bool {
+	for _, f := range r.filters {
+		if cf, ok := f.(ClockFree); !ok || !cf.ClockFree() {
+			return false
+		}
+	}
+	return true
+}
 
 // Place implements Router.
 func (r *RoundRobin) Place(j *job.Job, cands []*Candidate) int {

@@ -217,10 +217,19 @@ func (s *Simulator) PendingWork() float64 {
 // Σ (end−now)·procs over running jobs, using the actual end times the
 // simulator knows (schedulers never see them; the placement layer uses the
 // aggregate the way a monitoring system would).
-func (s *Simulator) RunningWork() float64 {
+func (s *Simulator) RunningWork() float64 { return s.RunningWorkAt(s.now) }
+
+// RunningWorkAt returns the remaining work area Σ (end−t)·procs over
+// running jobs, evaluated at an explicit instant t instead of the
+// simulator's own clock. The fleet's event-heap stepping uses it to
+// refresh candidate state at the global clock without advancing members
+// that have no events: as long as no running job ends at or before t
+// (which would be an event waking the member), the value is identical to
+// advancing the clock to t and calling RunningWork.
+func (s *Simulator) RunningWorkAt(t float64) float64 {
 	w := 0.0
 	for _, j := range s.running {
-		if rem := j.EndTime - s.now; rem > 0 {
+		if rem := j.EndTime - t; rem > 0 {
 			w += rem * float64(j.RequestedProcs)
 		}
 	}
