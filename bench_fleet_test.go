@@ -9,6 +9,7 @@ import (
 	"rlsched/internal/nn"
 	"rlsched/internal/obs"
 	"rlsched/internal/sim"
+	"rlsched/internal/telemetry"
 	"rlsched/internal/trace"
 )
 
@@ -113,4 +114,57 @@ func BenchmarkFleetPlaceExplained(b *testing.B) {
 	rate := float64(b.N) / b.Elapsed().Seconds()
 	b.ReportMetric(rate, "placements/s")
 	writeBenchSnapshot(b, "fleetplace_explained", map[string]float64{"placements_per_s": rate})
+}
+
+// benchmarkFleetPlaceRun is the end-to-end Fleet.Run counterpart of the
+// decision-path pair above: an 8-member heterogeneous fleet routing the
+// scale-suite arrival stream, with and without health sampling enabled.
+// The sampled/unsampled gap is the telemetry overhead a monitored fleet
+// run pays — the acceptance bound is a few percent, because sampling rides
+// the event heap instead of adding sweeps (DESIGN.md §11).
+func benchmarkFleetPlaceRun(b *testing.B, sampled bool, snapshot string) {
+	members := fleetScaleMembers(8)
+	stream := fleetScaleStream()
+	f, err := fleet.New(members, fleet.BinpackPipeline())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var set *telemetry.Set
+	if sampled {
+		set = telemetry.NewSet()
+		span := stream[len(stream)-1].SubmitTime - stream[0].SubmitTime
+		interval := span / 64
+		if interval < 1 {
+			interval = 1
+		}
+		if err := f.EnableSampling(fleet.SamplingConfig{Interval: interval, Set: set}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Run(cloneFleetStream(stream)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rate := float64(b.N*len(stream)) / b.Elapsed().Seconds()
+	b.ReportMetric(rate, "placements/s")
+	metrics := map[string]float64{"placements_per_s": rate}
+	if set != nil {
+		metrics["series"] = float64(set.Len())
+	}
+	writeBenchSnapshot(b, snapshot, metrics)
+}
+
+// BenchmarkFleetPlaceRun is the unsampled Fleet.Run baseline.
+func BenchmarkFleetPlaceRun(b *testing.B) {
+	benchmarkFleetPlaceRun(b, false, "fleetplace_run")
+}
+
+// BenchmarkFleetPlaceRunSampled runs the same fleet with periodic health
+// sampling into a telemetry set. Compare against BenchmarkFleetPlaceRun.
+func BenchmarkFleetPlaceRunSampled(b *testing.B) {
+	benchmarkFleetPlaceRun(b, true, "fleetplace_run_sampled")
 }

@@ -12,6 +12,7 @@ import (
 	"rlsched/internal/nn"
 	"rlsched/internal/serve"
 	"rlsched/internal/sim"
+	"rlsched/internal/telemetry"
 )
 
 // Serving hot-path benchmarks: single-request decision latency and batched
@@ -61,10 +62,14 @@ func benchServeDecide(b *testing.B, snapName, policyName string, statesPerReq in
 	client := ts.Client()
 	url := ts.URL + "/v1/decide"
 	buf := make([]byte, 4096)
+	// Whole-run latency distribution: unbounded telemetry histogram, same
+	// bucket layout the load generator reports from.
+	lat := telemetry.NewHistogram(telemetry.LogBounds(100e-6, 5, 6), 0, 0)
 
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
 			b.Fatal(err)
@@ -80,15 +85,25 @@ func benchServeDecide(b *testing.B, snapName, policyName string, statesPerReq in
 		if resp.StatusCode != http.StatusOK {
 			b.Fatalf("status %d", resp.StatusCode)
 		}
+		lat.Observe(0, time.Since(t0).Seconds())
 	}
 	// Each decision places exactly one job, so jobs/s mirrors decisions/s;
 	// reporting both keeps BENCH_*.json comparable with the training-epoch
 	// benchmark's throughput trajectory.
 	b.StopTimer()
 	rate := float64(b.N) * float64(statesPerReq) / b.Elapsed().Seconds()
+	p50, p95, p99 := lat.Quantile(0, 0.50), lat.Quantile(0, 0.95), lat.Quantile(0, 0.99)
 	b.ReportMetric(rate, "decisions/s")
 	b.ReportMetric(rate, "jobs/s")
-	writeBenchSnapshot(b, snapName, map[string]float64{"decisions_per_s": rate})
+	b.ReportMetric(p50*1e3, "p50-ms")
+	b.ReportMetric(p95*1e3, "p95-ms")
+	b.ReportMetric(p99*1e3, "p99-ms")
+	writeBenchSnapshot(b, snapName, map[string]float64{
+		"decisions_per_s": rate,
+		"p50_seconds":     p50,
+		"p95_seconds":     p95,
+		"p99_seconds":     p99,
+	})
 }
 
 // BenchmarkServeDecide is the single-request latency of one 128-job

@@ -44,6 +44,7 @@ var godocTargets = []struct {
 	{dir: "internal/metrics"},
 	{dir: "internal/obs"},
 	{dir: "internal/sim", file: "stepper.go"},
+	{dir: "internal/telemetry"},
 }
 
 // linkPattern matches inline markdown links [text](target).

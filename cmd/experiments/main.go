@@ -59,6 +59,8 @@ func main() {
 		"cross-cluster migration policy for fleet experiments: off|hysteresis|always")
 	tracePath := flag.String("trace", "",
 		"write a Chrome trace-event / Perfetto timeline of a representative fleet run here (fleet experiments; open at ui.perfetto.dev)")
+	timeseriesPath := flag.String("timeseries", "",
+		"write sampled fleet health series (utilization, queue depth, bsld, fairness, migrations) of a representative fleet run as JSON here (fleet experiments)")
 	reportPath := flag.String("report", "",
 		"write a machine-readable run report (scenario, seeds, metrics, phase timings) as JSON here")
 	loadgen := flag.String("loadgen", "", "load-generator mode: base URL of a running rlservd")
@@ -149,6 +151,7 @@ func main() {
 	}
 	for _, id := range ids {
 		o.TracePath = perIDPath(*tracePath, id, len(ids) > 1)
+		o.TimeseriesPath = perIDPath(*timeseriesPath, id, len(ids) > 1)
 		o.ReportPath = perIDPath(*reportPath, id, len(ids) > 1)
 		start := time.Now()
 		arts, err := exp.Run(id, o)

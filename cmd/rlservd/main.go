@@ -139,6 +139,15 @@ func main() {
 	fairWindow := flag.Float64("fair-window", 0,
 		"fleet mode: decay the fairness tracker's shares over roughly this many completions "+
 			"(0 = full history; needs -fair-weight)")
+	sloP99 := flag.Duration("slo-p99", 0,
+		"p99 latency budget per endpoint; enables SLO monitoring, /readyz, and the "+
+			"degradation ladder (RL scoring -> SJF fallback -> static shedding) when set")
+	sloWindow := flag.Duration("slo-window", 30*time.Second,
+		"sliding window the SLO latency quantiles are computed over")
+	sloQueueHigh := flag.Int("slo-queue-high", 0,
+		"batcher queue depth treated as overload by the SLO monitor (0 = latency signal only)")
+	healthzLevel := flag.Int("healthz", 2,
+		"degradation level at which /healthz flips to 503 (needs -slo-p99)")
 	pprofOn := flag.Bool("pprof", false,
 		"mount the net/http/pprof profiling handlers under /debug/pprof/")
 	decisionLog := flag.Int("decision-log", 0,
@@ -159,6 +168,12 @@ func main() {
 		FairWindow:    *fairWindow,
 		Pprof:         *pprofOn,
 		DecisionLog:   *decisionLog,
+		SLO: serve.SLOConfig{
+			P99Budget:    *sloP99,
+			Window:       *sloWindow,
+			QueueHigh:    *sloQueueHigh,
+			HealthzLevel: *healthzLevel,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rlservd: %v\n", err)

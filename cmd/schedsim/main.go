@@ -20,10 +20,12 @@ import (
 	"text/tabwriter"
 
 	"rlsched/internal/core"
+	"rlsched/internal/fleet"
 	"rlsched/internal/metrics"
 	"rlsched/internal/obs"
 	"rlsched/internal/sched"
 	"rlsched/internal/sim"
+	"rlsched/internal/telemetry"
 	"rlsched/internal/trace"
 )
 
@@ -39,6 +41,8 @@ func main() {
 	model := flag.String("model", "", "saved RL model JSON to include as a scheduler")
 	traceOut := flag.String("trace-out", "",
 		"write a Chrome trace-event / Perfetto timeline of one replayed sequence here")
+	timeseries := flag.String("timeseries", "",
+		"write sampled health series (utilization, queue depth, pending/running work, bsld) of one replayed sequence as JSON here")
 	flag.Parse()
 
 	var tr *trace.Trace
@@ -110,6 +114,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "schedsim: wrote %s timeline of %q to %s (open at https://ui.perfetto.dev)\n",
 			entries[0].name, tr.Name, *traceOut)
 	}
+	if *timeseries != "" {
+		if err := writeTimeseries(tr, entries[0].s,
+			*seqlen, *seed, *backfill, *maxObs, *timeseries); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "schedsim: wrote %s health series of %q to %s\n",
+			entries[0].name, tr.Name, *timeseries)
+	}
 }
 
 // writeTimeline replays one sampled sequence under the given scheduler
@@ -129,6 +141,37 @@ func writeTimeline(tr *trace.Trace, name string, s sim.Scheduler,
 		return err
 	}
 	return col.WriteChromeTraceFile(path)
+}
+
+// writeTimeseries replays one sampled sequence through a single-member
+// fleet with health sampling enabled (internal/fleet; sampling is passive,
+// so the replay schedules exactly like the plain simulator) and writes the
+// sampled series as a telemetry JSON artifact. The sample interval is
+// derived from the window span — ~200 samples per run.
+func writeTimeseries(tr *trace.Trace, s sim.Scheduler,
+	seqlen int, seed int64, backfill bool, maxObs int, path string) error {
+	rng := rand.New(rand.NewSource(seed))
+	window := tr.SampleWindow(rng, seqlen)
+	f, err := fleet.New([]fleet.MemberConfig{{
+		Name:      tr.Name,
+		Sim:       sim.Config{Processors: tr.Processors, Backfill: backfill, MaxObserve: maxObs},
+		Scheduler: s,
+	}}, fleet.NewRoundRobin())
+	if err != nil {
+		return err
+	}
+	interval := (window[len(window)-1].SubmitTime - window[0].SubmitTime) / 200
+	if interval <= 0 {
+		interval = 1
+	}
+	set := telemetry.NewSet()
+	if err := f.EnableSampling(fleet.SamplingConfig{Interval: interval, Set: set}); err != nil {
+		return err
+	}
+	if _, err := f.Run(window); err != nil {
+		return err
+	}
+	return set.WriteFile(path)
 }
 
 func fatal(err error) {

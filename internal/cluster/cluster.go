@@ -20,23 +20,36 @@ type Cluster struct {
 
 	// busyTime integrates (allocated processors × seconds) for
 	// utilization accounting. Accrual is lazy: AdvanceTo only moves the
-	// clock, and the integral is extended at the points where the busy
-	// count changes (Allocate/Release) or a total is read. This makes
-	// busyTime a function of the allocation history alone — how many
-	// intermediate AdvanceTo calls a driver issues cannot perturb the
-	// floating-point sum, which the fleet's event-heap stepping relies
-	// on for byte-identical results against the full-sweep reference.
+	// clock, and the integral is extended only at the points where the
+	// busy count changes (Allocate/Release); reads extend it on the fly
+	// without storing. This makes busyTime a function of the allocation
+	// history alone — neither intermediate AdvanceTo calls nor mid-run
+	// utilization reads can perturb the floating-point sum, which the
+	// fleet's event-heap stepping and health sampling rely on for
+	// byte-identical results against the unsampled full-sweep reference.
 	busyTime    float64
 	lastTime    float64 // current accounting clock
 	accrualTime float64 // clock value busyTime has been integrated up to
 }
 
-// accrue extends the busy-time integral up to the current clock.
+// accrue extends the busy-time integral up to the current clock. Only the
+// allocation-change points call it, so the stored sum's segmentation is
+// determined by the allocation history alone.
 func (c *Cluster) accrue() {
 	if c.lastTime > c.accrualTime {
 		c.busyTime += float64(c.busy) * (c.lastTime - c.accrualTime)
 		c.accrualTime = c.lastTime
 	}
+}
+
+// peekBusyTime returns the integral extended to the current clock without
+// moving the accrual point — a pure read, so sampling utilization mid-run
+// cannot split a busy segment and shift later floating-point sums.
+func (c *Cluster) peekBusyTime() float64 {
+	if c.lastTime > c.accrualTime {
+		return c.busyTime + float64(c.busy)*(c.lastTime-c.accrualTime)
+	}
+	return c.busyTime
 }
 
 // New returns an idle cluster with n processors.
@@ -106,11 +119,8 @@ func (c *Cluster) AdvanceTo(t float64) {
 }
 
 // BusyTime returns the accumulated busy processor-seconds up to the
-// current accounting clock.
-func (c *Cluster) BusyTime() float64 {
-	c.accrue()
-	return c.busyTime
-}
+// current accounting clock (a pure read).
+func (c *Cluster) BusyTime() float64 { return c.peekBusyTime() }
 
 // Utilization returns busyTime / (total × horizon) over [start, end].
 func (c *Cluster) Utilization(start, end float64) float64 {
@@ -118,8 +128,7 @@ func (c *Cluster) Utilization(start, end float64) float64 {
 	if span <= 0 {
 		return 0
 	}
-	c.accrue()
-	u := c.busyTime / (float64(c.total) * span)
+	u := c.peekBusyTime() / (float64(c.total) * span)
 	if u < 0 {
 		return 0
 	}

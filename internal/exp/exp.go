@@ -58,6 +58,13 @@ type Options struct {
 	// and write it as a Chrome trace-event / Perfetto timeline. Recording
 	// is passive: artifacts are byte-identical with and without it.
 	TracePath string
+	// TimeseriesPath, when set, makes the fleet experiments attach health
+	// sampling (internal/fleet.EnableSampling) to the same representative
+	// run TracePath records and write the sampled series as a telemetry
+	// JSON artifact. Like tracing, sampling is passive: results are
+	// byte-identical with and without it. When TracePath is also set, the
+	// exported timeline gains counter tracks for the sampled series.
+	TimeseriesPath string
 	// ReportPath, when set, makes Run write an obs.RunReport (scenario,
 	// seed, per-policy metrics, fairness, wall-clock phase timings) as
 	// indented JSON after a successful run.

@@ -9,6 +9,7 @@ import (
 	"rlsched/internal/obs"
 	"rlsched/internal/sched"
 	"rlsched/internal/sim"
+	"rlsched/internal/telemetry"
 	"rlsched/internal/trace"
 )
 
@@ -116,8 +117,11 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 	// With -trace set, the rl-scored router's determinism re-run carries a
 	// collector: the assignment comparison below then doubles as a
 	// recorder-parity check, and the last scenario's recording becomes the
-	// exported timeline.
+	// exported timeline. With -timeseries set, the same re-run carries a
+	// health sampler, so the assignment comparison also pins sampling
+	// parity on a live RL fleet.
 	var timeline *obs.Collector
+	var health *telemetry.Set
 	for si, scenario := range scenarios {
 		t := &Table{
 			Title:  fmt.Sprintf("Fleet placement, %s: %d × %d-job streams over [256 RL, 128 SJF, 64 F1]", scenario, o.EvalNSeq, o.EvalSeqLen),
@@ -195,6 +199,15 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 				timeline = obs.NewCollector()
 				f2.SetRecorder(timeline)
 			}
+			if o.TimeseriesPath != "" && rc.name == "rl-scored" {
+				health = telemetry.NewSet()
+				if err := f2.EnableSampling(fleet.SamplingConfig{
+					Interval: sweepInterval(again.Jobs),
+					Set:      health,
+				}); err != nil {
+					return nil, err
+				}
+			}
 			res2, err := f2.Run(again.Jobs)
 			if err != nil {
 				return nil, err
@@ -227,8 +240,13 @@ func FleetPlacement(o Options) ([]Artifact, error) {
 	if !deterministic {
 		return arts, fmt.Errorf("fleet-placement: assignments were not deterministic")
 	}
+	if health != nil {
+		if err := health.WriteFile(o.TimeseriesPath); err != nil {
+			return nil, fmt.Errorf("fleet-placement: write timeseries: %w", err)
+		}
+	}
 	if timeline != nil {
-		if err := timeline.WriteChromeTraceFile(o.TracePath); err != nil {
+		if err := timeline.WriteChromeTraceSeriesFile(o.TracePath, health); err != nil {
 			return nil, fmt.Errorf("fleet-placement: write trace: %w", err)
 		}
 	}

@@ -175,6 +175,9 @@ type Fleet struct {
 	router  Router
 	cands   []*Candidate
 	migCfg  *MigrationConfig
+	// samCfg enables periodic health sampling (sample.go; nil = off, the
+	// zero-cost default).
+	samCfg *SamplingConfig
 	// stateful lists the router's StateScorers (empty for stateless
 	// routers): reset per run and fed member completions before every
 	// placement and re-placement decision.
@@ -430,6 +433,10 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 		mig.rec = f.rec
 	}
 	f.lastMig = mig
+	var sam *sampler
+	if f.samCfg != nil {
+		sam = f.newSampler(stream[0].SubmitTime)
+	}
 	assignments := make([]int, len(stream))
 	prev := stream[0].SubmitTime
 	for i, j := range stream {
@@ -437,7 +444,15 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 			return nil, fmt.Errorf("fleet: stream job %d out of submit order", i)
 		}
 		prev = j.SubmitTime
-		if mig != nil {
+		if sam != nil {
+			// Guard inline: most arrivals fall between hooks, and the
+			// sampling-enabled path should cost them only these compares.
+			if sam.next <= j.SubmitTime || (mig != nil && mig.nextSweep <= j.SubmitTime) {
+				if err := f.hooksUntil(mig, sam, j.SubmitTime); err != nil {
+					return nil, err
+				}
+			}
+		} else if mig != nil {
 			if err := f.sweepUntil(mig, j.SubmitTime); err != nil {
 				return nil, err
 			}
@@ -491,9 +506,12 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 	end := prev
 	var drainEnd float64
 	var err error
-	if mig != nil {
+	switch {
+	case sam != nil:
+		drainEnd, err = f.drainSampled(mig, sam)
+	case mig != nil:
 		drainEnd, err = f.drainMigrating(mig)
-	} else {
+	default:
 		drainEnd, err = f.drainAll()
 	}
 	if err != nil {
@@ -501,6 +519,12 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 	}
 	if drainEnd > end {
 		end = drainEnd
+	}
+	if sam != nil {
+		// Close every trajectory at the shared fleet horizon (a pure
+		// read: the clock moves it performs are the same ones the final
+		// pass below does anyway).
+		sam.finalSample(f, end, mig)
 	}
 	results := make([]metrics.Result, len(f.members))
 	procs := make([]int, len(f.members))

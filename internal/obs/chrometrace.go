@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"rlsched/internal/telemetry"
 )
 
 // Chrome trace-event exporter: renders a collected fleet run as a
@@ -53,6 +55,18 @@ type jobSpan struct {
 // accepted migration probes become flow arrows between thin migration
 // instants on the source and destination lanes.
 func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	return c.writeChromeTrace(w, nil)
+}
+
+// WriteChromeTraceSeries renders the timeline with the sampled health
+// series (internal/fleet sampling) added as counter tracks ("C" events) on
+// the fleet's pid-0 lane — Perfetto draws each series as a filled area
+// chart above the job spans, aligned on the same simulated-time axis.
+func (c *Collector) WriteChromeTraceSeries(w io.Writer, set *telemetry.Set) error {
+	return c.writeChromeTrace(w, set)
+}
+
+func (c *Collector) writeChromeTrace(w io.Writer, set *telemetry.Set) error {
 	jobs := c.Jobs()
 	probes := c.Migrations()
 	fair := c.FairnessSnapshots()
@@ -181,17 +195,27 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 				Ts: ts + 1, Pid: dst, Tid: 0})
 	}
 
-	// Fleet-wide fairness counters ride on a dedicated pid 0 process.
-	if len(fair) > 0 {
+	// Fleet-wide fairness counters and sampled health series ride on a
+	// dedicated pid 0 process.
+	if len(fair) > 0 || (set != nil && set.Len() > 0) {
 		evs = append(evs, traceEvent{Name: "process_name", Ph: "M", Pid: 0,
 			Args: map[string]any{"name": "fleet"}})
-		for _, s := range fair {
-			evs = append(evs, traceEvent{Name: "fairness", Ph: "C",
-				Ts: s.Time * tsScale, Pid: 0,
-				Args: map[string]any{
-					"jain":           s.Report.Jain,
-					"max_mean_ratio": s.Report.MaxMeanRatio,
-				}})
+	}
+	for _, s := range fair {
+		evs = append(evs, traceEvent{Name: "fairness", Ph: "C",
+			Ts: s.Time * tsScale, Pid: 0,
+			Args: map[string]any{
+				"jain":           s.Report.Jain,
+				"max_mean_ratio": s.Report.MaxMeanRatio,
+			}})
+	}
+	if set != nil {
+		for _, sr := range set.All() {
+			for _, p := range sr.Points {
+				evs = append(evs, traceEvent{Name: sr.Name, Ph: "C",
+					Ts: p.T * tsScale, Pid: 0,
+					Args: map[string]any{"value": p.V}})
+			}
 		}
 	}
 
@@ -201,11 +225,17 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 
 // WriteChromeTraceFile writes the timeline to a file path.
 func (c *Collector) WriteChromeTraceFile(path string) error {
+	return c.WriteChromeTraceSeriesFile(path, nil)
+}
+
+// WriteChromeTraceSeriesFile writes the timeline plus counter tracks for
+// the sampled series (nil set = plain timeline) to a file path.
+func (c *Collector) WriteChromeTraceSeriesFile(path string, set *telemetry.Set) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := c.WriteChromeTrace(f); err != nil {
+	if err := c.writeChromeTrace(f, set); err != nil {
 		f.Close()
 		return err
 	}

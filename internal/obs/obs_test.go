@@ -10,6 +10,7 @@ import (
 
 	"rlsched/internal/job"
 	"rlsched/internal/metrics"
+	"rlsched/internal/telemetry"
 )
 
 func TestRefAndKindString(t *testing.T) {
@@ -216,6 +217,66 @@ func TestWriteChromeTraceSchema(t *testing.T) {
 	// NaN must never leak into the JSON.
 	if bytes.Contains(buf.Bytes(), []byte("NaN")) {
 		t.Fatal("trace contains NaN")
+	}
+}
+
+// TestWriteChromeTraceSeries pins the counter-track export: every sampled
+// telemetry series becomes a pid-0 "C" event per point, alongside the
+// fairness counters, and the plain export stays series-free.
+func TestWriteChromeTraceSeries(t *testing.T) {
+	set := telemetry.NewSet()
+	set.Series("fleet.queue_depth").Add(1, 3)
+	set.Series("fleet.queue_depth").Add(2, 5)
+	set.Series("cluster.a.util").Add(2, 0.5)
+
+	var buf bytes.Buffer
+	if err := traceFixture().WriteChromeTraceSeries(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	counters := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		if ph, _ := ev["ph"].(string); ph != "C" {
+			continue
+		}
+		name, _ := ev["name"].(string)
+		counters[name]++
+		if pid, _ := ev["pid"].(float64); pid != 0 {
+			t.Fatalf("counter %s on pid %g, want fleet lane 0", name, pid)
+		}
+	}
+	if counters["fleet.queue_depth"] != 2 || counters["cluster.a.util"] != 1 {
+		t.Fatalf("series counter events = %v", counters)
+	}
+	if counters["fairness"] != 1 {
+		t.Fatalf("fairness counters = %d, want 1", counters["fairness"])
+	}
+	// Points scale like every other timestamp (simulated seconds × 1e6).
+	found := false
+	for _, ev := range tr.TraceEvents {
+		if n, _ := ev["name"].(string); n == "cluster.a.util" {
+			if ts, _ := ev["ts"].(float64); ts != 2e6 {
+				t.Fatalf("counter ts = %g, want 2e6", ts)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cluster.a.util counter missing")
+	}
+
+	// The series-free writer must not grow counter tracks.
+	var plain bytes.Buffer
+	if err := traceFixture().WriteChromeTrace(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain.Bytes(), []byte("queue_depth")) {
+		t.Fatal("plain trace leaked series counters")
 	}
 }
 

@@ -82,6 +82,11 @@ func NewBatcher(e Engine, cfg BatcherConfig) *Batcher {
 // Engine returns the currently served engine.
 func (b *Batcher) Engine() Engine { return b.engine.Load().e }
 
+// QueueDepth reports how many request groups are waiting in the batching
+// queue right now — the backpressure signal the SLO monitor's high-water
+// overload check reads.
+func (b *Batcher) QueueDepth() int { return len(b.queue) }
+
 // Swap atomically replaces the engine. In-flight batches finish on the
 // engine they started with; queued and future work uses the new one. No
 // request is dropped.

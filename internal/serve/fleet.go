@@ -376,6 +376,9 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.CountPlacement(cands[pick].Index)
 	s.metrics.PlaceLatency.ObserveDuration(time.Since(start))
+	if s.slo != nil {
+		s.slo.observe("/place", time.Since(start))
+	}
 }
 
 // appendScoresJSON appends the {"name":score,...} object covering every
@@ -496,6 +499,9 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.MigrateChecksTotal.Add(1)
 	s.metrics.MigrateLatency.ObserveDuration(time.Since(start))
+	if s.slo != nil {
+		s.slo.observe("/migrate", time.Since(start))
+	}
 	if move {
 		s.metrics.CountMigration(cands[dst].Index)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rlsched/internal/job"
+	"rlsched/internal/telemetry"
 	"rlsched/internal/trace"
 )
 
@@ -72,7 +73,9 @@ type LoadReport struct {
 	DecisionsPerSec float64
 	// P50/P95/P99 are request-latency quantile upper bounds.
 	P50, P95, P99 time.Duration
-	Latency       *Histogram
+	// Latency holds the whole-run request-latency distribution (an
+	// unbounded telemetry histogram; quantiles are upper bucket bounds).
+	Latency *telemetry.Histogram
 }
 
 func (r LoadReport) String() string {
@@ -227,6 +230,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	report := &LoadReport{Latency: newLoadHistogram()}
+	var latMu sync.Mutex // telemetry histograms are not concurrency-safe
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -248,7 +252,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					atomic.AddUint64(&report.Errors, 1)
 					continue
 				}
-				report.Latency.ObserveDuration(time.Since(t0))
+				d := time.Since(t0)
+				latMu.Lock()
+				report.Latency.Observe(0, d.Seconds())
+				latMu.Unlock()
 				atomic.AddUint64(&report.Requests, 1)
 				atomic.AddUint64(&report.Decisions, uint64(cfg.StatesPerReq))
 			}
@@ -265,23 +272,17 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	return report, nil
 }
 
-// quantileDuration converts a histogram quantile to a duration, clamping
-// the +Inf overflow bucket to the top bound (the report then understates
-// a truly pathological tail instead of printing a negative duration).
-func quantileDuration(h *Histogram, q float64) time.Duration {
-	v := h.Quantile(q)
-	if math.IsInf(v, 1) {
-		v = h.bounds[len(h.bounds)-1]
-	}
-	return time.Duration(v * float64(time.Second))
+// quantileDuration converts a whole-run histogram quantile to a duration
+// (telemetry histograms clamp overflow mass to the top bound, so a
+// pathological tail is understated rather than reported as +Inf).
+func quantileDuration(h *telemetry.Histogram, q float64) time.Duration {
+	return time.Duration(h.Quantile(0, q) * float64(time.Second))
 }
 
-func newLoadHistogram() *Histogram {
-	h := &Histogram{bounds: []float64{
-		100e-6, 200e-6, 500e-6, 1e-3, 2e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1, 5,
-	}}
-	h.counts = make([]atomic.Uint64, len(h.bounds)+1)
-	return h
+// newLoadHistogram builds the unbounded whole-run latency histogram the
+// load generator and the serve benchmarks share: 100µs to 5s, log-spaced.
+func newLoadHistogram() *telemetry.Histogram {
+	return telemetry.NewHistogram(telemetry.LogBounds(100e-6, 5, 6), 0, 0)
 }
 
 func postOnce(client *http.Client, url string, body []byte) error {

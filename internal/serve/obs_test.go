@@ -200,6 +200,9 @@ func TestMetricsHelpAndType(t *testing.T) {
 		Migrate:       true,
 		MigrateMargin: 0.25,
 		FairWeight:    1,
+		// A generous budget keeps the ladder at level 0; enabling the
+		// monitor puts the SLO families on the surface under test.
+		SLO: SLOConfig{P99Budget: time.Second},
 		Shards: []ShardConfig{
 			{Name: "large", Procs: 256, PolicyName: "SJF"},
 			{Name: "small", Procs: 64, PolicyName: "F1"},
@@ -269,6 +272,9 @@ func TestMetricsHelpAndType(t *testing.T) {
 		"rlserv_uptime_seconds ",
 		"rlserv_migrate_latency_seconds_count 1",
 		`rlserv_fairness_score{stat="jain"}`,
+		"rlserv_degradation_level 0",
+		"rlserv_slo_breaches_total ",
+		`rlserv_request_latency_seconds{path="/place",quantile="0.99"}`,
 	} {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("metrics output missing %q", want)

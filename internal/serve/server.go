@@ -78,6 +78,12 @@ type Config struct {
 	// decisions (fleet mode). 0 takes the default of 256; negative
 	// disables the ring and the endpoint.
 	DecisionLog int
+	// SLO configures latency-budget monitoring and the degradation ladder
+	// (slo.go). The zero value disables both; with SLO.P99Budget set, the
+	// daemon watches windowed per-endpoint p99 latency and batcher queue
+	// depth, degrades /v1/decide through heuristic and static fallbacks
+	// under sustained overload, and exports the ladder state on /metrics.
+	SLO SLOConfig
 }
 
 // Server is the decision service: an Engine behind a Batcher behind an
@@ -105,6 +111,10 @@ type Server struct {
 	// placement decisions (nil when disabled or outside fleet mode).
 	start time.Time
 	ring  *obs.Ring
+
+	// slo is the SLO monitor and degradation ladder (nil when disabled —
+	// the nil checks on the request path are the only cost then).
+	slo *sloMonitor
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -155,12 +165,22 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		s.ring = obs.NewRing(n)
 	}
+	if cfg.SLO.P99Budget > 0 {
+		fallback, err := LoadEngine("", "SJF")
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.slo = newSLOMonitor(cfg.SLO, s.maxQueueDepth, fallback)
+		s.slo.run()
+	}
 	s.mux.HandleFunc("/v1/decide", s.handleDecide)
 	s.mux.HandleFunc("/place", s.handlePlace)
 	s.mux.HandleFunc("/migrate", s.handleMigrate)
 	s.mux.HandleFunc("/reload", s.handleReload)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/debug/decisions", s.handleDecisions)
 	if cfg.Pprof {
 		// The standard profiling surface, mounted only on request: CPU
@@ -187,12 +207,30 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // idempotent, so the fleet-only aliasing of the base batcher onto shard 0
 // is harmless).
 func (s *Server) Close() {
+	if s.slo != nil {
+		s.slo.close()
+	}
 	if s.batcher != nil {
 		s.batcher.Close()
 	}
 	for _, sh := range s.shards {
 		sh.batcher.Close()
 	}
+}
+
+// maxQueueDepth reports the deepest batching queue across the base batcher
+// and every fleet shard — the SLO monitor's backpressure signal.
+func (s *Server) maxQueueDepth() int {
+	depth := 0
+	if s.batcher != nil {
+		depth = s.batcher.QueueDepth()
+	}
+	for _, sh := range s.shards {
+		if d := sh.batcher.QueueDepth(); d > depth {
+			depth = d
+		}
+	}
+	return depth
 }
 
 // Shards lists the fleet shard names in registration order (empty outside
@@ -254,11 +292,29 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	states := rb.finalize()
-	decs, policy, err := batcher.Decide(r.Context(), states)
-	if err != nil {
-		s.fail(w, http.StatusServiceUnavailable, err)
-		rb = nil
-		return
+	// The degradation ladder (slo.go): full service decides through the
+	// batcher; level 1 swaps in the synchronous heuristic fallback; level
+	// 2 sheds to a static FCFS answer with no engine call, so the shed
+	// path's latency is just parsing and encoding.
+	var decs []Decision
+	var policy string
+	switch level := s.sloLevel(); {
+	case level >= 2:
+		decs = make([]Decision, len(states))
+		staticDecide(states, decs)
+		policy = staticPolicyName
+	case level == 1:
+		decs = make([]Decision, len(states))
+		s.slo.fallback.DecideBatch(states, decs)
+		policy = s.slo.fallback.Name()
+	default:
+		var err error
+		decs, policy, err = batcher.Decide(r.Context(), states)
+		if err != nil {
+			s.fail(w, http.StatusServiceUnavailable, err)
+			rb = nil
+			return
+		}
 	}
 	rb.resp = rb.appendResponse(rb.resp[:0], decs, policy)
 	w.Header().Set("Content-Type", "application/json")
@@ -267,6 +323,17 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	s.metrics.RequestsTotal.Add(1)
 	s.metrics.DecisionsTotal.Add(uint64(len(states)))
 	s.metrics.Latency.ObserveDuration(time.Since(start))
+	if s.slo != nil {
+		s.slo.observe("/v1/decide", time.Since(start))
+	}
+}
+
+// sloLevel is the current degradation level (0 when monitoring is off).
+func (s *Server) sloLevel() int {
+	if s.slo == nil {
+		return 0
+	}
+	return s.slo.Level()
 }
 
 // reloadSpec is the /reload request body. An empty body re-reads the
@@ -366,6 +433,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "rlserv_build_info{go_version=%q,revision=%q} 1\n", goVersion, revision)
 	promFamily(w, "rlserv_uptime_seconds", "Seconds since the daemon started.", "gauge")
 	fmt.Fprintf(w, "rlserv_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	if s.slo != nil {
+		s.slo.writeProm(w)
+	}
 	if s.fairness != nil {
 		// The fairness tracker's live view of per-user service: Jain's
 		// index and worst-user stats over the tracked bounded-slowdown
@@ -410,8 +480,30 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(out)
 }
 
+// handleHealthz is the liveness probe: ok until the degradation ladder
+// reaches SLOConfig.HealthzLevel (default: shedding), at which point the
+// daemon asks to be pulled out of rotation.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.slo != nil {
+		if level := s.slo.Level(); level >= s.slo.cfg.HealthzLevel {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "shedding level=%d\n", level)
+			return
+		}
+	}
 	fmt.Fprintf(w, "ok policy=%s\n", s.batcher.Engine().Name())
+}
+
+// handleReadyz is the readiness probe: ready only at full service (level
+// 0), so load balancers steer new traffic away the moment the daemon
+// starts degrading, well before /healthz gives up on it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if level := s.sloLevel(); level > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded level=%d\n", level)
+		return
+	}
+	fmt.Fprintf(w, "ready policy=%s\n", s.batcher.Engine().Name())
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {

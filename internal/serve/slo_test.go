@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowEngine answers Pick 0 after an adjustable delay — the synthetic
+// overload source for ladder tests.
+type slowEngine struct{ delay atomic.Int64 }
+
+func (e *slowEngine) Name() string { return "slow" }
+func (e *slowEngine) MaxJobs() int { return 0 }
+func (e *slowEngine) DecideBatch(states []*QueueState, out []Decision) {
+	if d := time.Duration(e.delay.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	for i := range out {
+		out[i] = Decision{Pick: 0}
+	}
+}
+
+// TestSLOMonitorLadderFakeClock pins the monitor's escalation and
+// hysteresis recovery against an injected clock: 0→1→2 under a sustained
+// p99 breach, one rung back per RecoverAfter streak once the slow samples
+// age out of the window.
+func TestSLOMonitorLadderFakeClock(t *testing.T) {
+	m := newSLOMonitor(SLOConfig{
+		P99Budget: 10 * time.Millisecond, Window: 10 * time.Second,
+		EscalateAfter: 2, RecoverAfter: 2,
+	}, nil, nil)
+	now := 0.0
+	m.clock = func() float64 { return now }
+
+	// No samples: p99 is 0, every evaluation is healthy.
+	for i := 0; i < 3; i++ {
+		if got := m.evalOnce(); got != 0 {
+			t.Fatalf("idle eval %d: level %d, want 0", i, got)
+		}
+	}
+
+	for i := 0; i < 100; i++ {
+		m.observe("/v1/decide", 50*time.Millisecond)
+	}
+	want := []int{0, 1, 1, 2} // EscalateAfter 2: two bad evals per rung
+	for i, w := range want {
+		if got := m.evalOnce(); got != w {
+			t.Fatalf("breach eval %d: level %d, want %d", i, got, w)
+		}
+	}
+	if got := m.breaches.Load(); got != 4 {
+		t.Fatalf("breaches = %d, want 4 (one per overloaded eval)", got)
+	}
+	if got := m.Level(); got != 2 {
+		t.Fatalf("Level() = %d, want 2", got)
+	}
+
+	// Jump past the window: the slow samples expire, p99 drops to 0, and
+	// the ladder descends one rung per RecoverAfter healthy evals.
+	now = 20
+	want = []int{2, 1, 1, 0}
+	for i, w := range want {
+		if got := m.evalOnce(); got != w {
+			t.Fatalf("recovery eval %d: level %d, want %d", i, got, w)
+		}
+	}
+	if got := m.breaches.Load(); got != 4 {
+		t.Fatalf("breaches moved to %d during recovery", got)
+	}
+}
+
+// TestSLOMonitorQueueSignal pins the queue-depth overload signal: healthy
+// latency but a deep batcher queue must still climb the ladder.
+func TestSLOMonitorQueueSignal(t *testing.T) {
+	depth := 0
+	m := newSLOMonitor(SLOConfig{
+		P99Budget: time.Second, Window: 10 * time.Second,
+		QueueHigh: 8, EscalateAfter: 1, RecoverAfter: 1,
+	}, func() int { return depth }, nil)
+	now := 0.0
+	m.clock = func() float64 { return now }
+	m.observe("/v1/decide", time.Millisecond)
+
+	if got := m.evalOnce(); got != 0 {
+		t.Fatalf("shallow queue: level %d, want 0", got)
+	}
+	depth = 8
+	if got := m.evalOnce(); got != 1 {
+		t.Fatalf("deep queue: level %d, want 1", got)
+	}
+	depth = 0
+	if got := m.evalOnce(); got != 0 {
+		t.Fatalf("drained queue: level %d, want 0", got)
+	}
+}
+
+// TestSLOMonitorProm pins the exported families: the level gauge, the
+// breach counter, and per-endpoint windowed quantiles.
+func TestSLOMonitorProm(t *testing.T) {
+	m := newSLOMonitor(SLOConfig{P99Budget: time.Millisecond}, nil, nil)
+	now := 0.0
+	m.clock = func() float64 { return now }
+	m.observe("/v1/decide", 10*time.Millisecond)
+	m.observe("/place", 100*time.Microsecond)
+	m.evalOnce()
+
+	var buf bytes.Buffer
+	m.writeProm(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"rlserv_degradation_level 0\n", // EscalateAfter default 3: one breach doesn't climb
+		"rlserv_slo_breaches_total 1\n",
+		`rlserv_request_latency_seconds{path="/place",quantile="0.99"}`,
+		`rlserv_request_latency_seconds{path="/v1/decide",quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// decideRequestBody encodes one synthetic queue state as a /v1/decide
+// request body.
+func decideRequestBody(t *testing.T, queueJobs int) []byte {
+	t.Helper()
+	return EncodeStates(testStates(t, 1, queueJobs))
+}
+
+// sloTestConfig runs the ladder fast: tiny budget, short window, 2ms
+// evaluations, two-eval streaks in both directions.
+func sloTestConfig() SLOConfig {
+	return SLOConfig{
+		P99Budget:     2 * time.Millisecond,
+		Window:        300 * time.Millisecond,
+		EvalEvery:     2 * time.Millisecond,
+		EscalateAfter: 2,
+		RecoverAfter:  2,
+	}
+}
+
+// awaitPolicy posts decide requests until the response policy matches,
+// returning false on deadline.
+func awaitPolicy(t *testing.T, url string, body []byte, want string, deadline time.Duration) bool {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		code, out := postJSON(t, url+"/v1/decide", body)
+		if code != 200 {
+			t.Fatalf("decide: %d %s", code, out)
+		}
+		if strings.Contains(string(out), `"policy":"`+want+`"`) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDegradationLadderEndToEnd drives a live server through the full
+// ladder: a slow engine breaches the budget until /v1/decide degrades to
+// the SJF fallback and then to static shedding, /readyz and /healthz flip,
+// /metrics reports the level — and once the overload source is gone the
+// windowed p99 falls back under budget and full service returns.
+func TestDegradationLadderEndToEnd(t *testing.T) {
+	eng := &slowEngine{}
+	eng.delay.Store(int64(20 * time.Millisecond))
+	srv, ts := newTestServer(t, Config{Engine: eng, SLO: sloTestConfig()})
+	body := decideRequestBody(t, 4)
+
+	// Sustained slow answers: the ladder must reach shedding.
+	if !awaitPolicy(t, ts.URL, body, staticPolicyName, 10*time.Second) {
+		t.Fatalf("never reached static shedding (level %d)", srv.sloLevel())
+	}
+	if code, out := getJSON(t, ts.URL+"/readyz"); code != 503 {
+		t.Fatalf("/readyz while shedding: %d %s", code, out)
+	}
+	if code, out := getJSON(t, ts.URL+"/healthz"); code != 503 {
+		t.Fatalf("/healthz at level 2 with default healthz-level: %d %s", code, out)
+	}
+	if code, out := getJSON(t, ts.URL+"/metrics"); code != 200 ||
+		!strings.Contains(string(out), "rlserv_degradation_level 2") {
+		t.Fatalf("/metrics while shedding: %d\n%s", code, out)
+	}
+
+	// Remove the overload. Shed answers are fast, the slow samples age
+	// out of the window, and the ladder walks back to full service.
+	eng.delay.Store(0)
+	if !awaitPolicy(t, ts.URL, body, "slow", 15*time.Second) {
+		t.Fatalf("never recovered to full service (level %d)", srv.sloLevel())
+	}
+	if code, out := getJSON(t, ts.URL+"/readyz"); code != 200 ||
+		!strings.Contains(string(out), "ready policy=slow") {
+		t.Fatalf("/readyz after recovery: %d %s", code, out)
+	}
+	if code, _ := getJSON(t, ts.URL+"/healthz"); code != 200 {
+		t.Fatalf("/healthz after recovery: %d", code)
+	}
+	if code, out := getJSON(t, ts.URL+"/metrics"); code != 200 ||
+		!strings.Contains(string(out), "rlserv_degradation_level 0") {
+		t.Fatalf("/metrics after recovery: %d\n%s", code, out)
+	}
+}
+
+// TestHealthzFlipsWhileSheddingHammer is the -race hammer: concurrent
+// decide traffic, health probes, and metric scrapes while the ladder
+// climbs under overload, asserting /healthz actually flips unready.
+func TestHealthzFlipsWhileSheddingHammer(t *testing.T) {
+	eng := &slowEngine{}
+	eng.delay.Store(int64(20 * time.Millisecond))
+	_, ts := newTestServer(t, Config{Engine: eng, SLO: sloTestConfig()})
+	body := decideRequestBody(t, 2)
+
+	var unready atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					postJSON(t, ts.URL+"/v1/decide", body)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if code, _ := getJSON(t, ts.URL+"/healthz"); code == 503 {
+					unready.Store(true)
+				}
+				getJSON(t, ts.URL+"/metrics")
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !unready.Load() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if !unready.Load() {
+		t.Fatal("/healthz never flipped unready under sustained overload")
+	}
+}

@@ -1,0 +1,65 @@
+package telemetry
+
+// Ladder is a hysteresis degradation state machine: a pure, deterministic
+// core the serving SLO monitor drives once per evaluation tick. The level
+// climbs one rung after EscalateAfter consecutive overloaded evaluations
+// and descends one rung after RecoverAfter consecutive healthy ones; any
+// opposite observation resets the streak. Escalation and recovery are
+// therefore both debounced — a single bad (or good) tick never moves the
+// level, so the ladder cannot flap faster than the configured streaks.
+// The zero value is a 2-rung ladder that escalates after 1 bad tick and
+// recovers after 1 good tick (Eval normalizes unset fields).
+type Ladder struct {
+	// MaxLevel is the top rung (default 2: full service → degraded →
+	// shedding).
+	MaxLevel int
+	// EscalateAfter is how many consecutive overloaded evaluations climb
+	// one rung (default 1).
+	EscalateAfter int
+	// RecoverAfter is how many consecutive healthy evaluations descend
+	// one rung (default 1).
+	RecoverAfter int
+
+	level, bad, good int
+}
+
+// norm applies the zero-value defaults.
+func (l *Ladder) norm() {
+	if l.MaxLevel <= 0 {
+		l.MaxLevel = 2
+	}
+	if l.EscalateAfter <= 0 {
+		l.EscalateAfter = 1
+	}
+	if l.RecoverAfter <= 0 {
+		l.RecoverAfter = 1
+	}
+}
+
+// Eval feeds one evaluation tick (overloaded or healthy) and returns the
+// level after applying the hysteresis rules.
+func (l *Ladder) Eval(overloaded bool) int {
+	l.norm()
+	if overloaded {
+		l.good = 0
+		l.bad++
+		if l.bad >= l.EscalateAfter && l.level < l.MaxLevel {
+			l.level++
+			l.bad = 0
+		}
+	} else {
+		l.bad = 0
+		l.good++
+		if l.good >= l.RecoverAfter && l.level > 0 {
+			l.level--
+			l.good = 0
+		}
+	}
+	return l.level
+}
+
+// Level returns the current rung without feeding an evaluation.
+func (l *Ladder) Level() int { return l.level }
+
+// Reset returns the ladder to level 0 with cleared streaks.
+func (l *Ladder) Reset() { l.level, l.bad, l.good = 0, 0, 0 }
