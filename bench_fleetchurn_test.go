@@ -1,0 +1,127 @@
+package main_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rlsched/internal/fleet"
+	"rlsched/internal/job"
+	"rlsched/internal/sched"
+	"rlsched/internal/sim"
+	"rlsched/internal/trace"
+)
+
+// Fleet churn benchmark (DESIGN.md §12): end-to-end Fleet.Run through a
+// full membership lifecycle — an early join, an announced mid-run failure
+// with forced re-placement of the evicted work, a graceful drain near the
+// end — against the identical run without a churn plan. The pair bounds
+// what churn machinery costs on the placement path; BENCH_fleetchurn.json
+// pins the churned trajectory with the overhead ratio when both ran.
+
+const fleetChurnArrivals = 2000
+
+func fleetChurnMembers() []fleet.MemberConfig {
+	sizes := []int{256, 256, 128, 64}
+	members := make([]fleet.MemberConfig, len(sizes))
+	for i, procs := range sizes {
+		members[i] = fleet.MemberConfig{
+			Name:      fmt.Sprintf("c%02d-%d", i, procs),
+			Sim:       sim.Config{Processors: procs, Backfill: true, MaxObserve: 32},
+			Scheduler: sched.FCFS(),
+		}
+	}
+	return members
+}
+
+func fleetChurnStream() []*job.Job {
+	tr := trace.Preset("Lublin-1", fleetChurnArrivals+64, 61)
+	rng := rand.New(rand.NewSource(61))
+	stream := tr.SampleWindow(rng, fleetChurnArrivals)
+	// Compress arrivals so members carry real backlogs: the drain and the
+	// failure then force a meaningful batch of re-placements instead of
+	// retiring an idle member.
+	start := stream[0].SubmitTime
+	for _, j := range stream {
+		j.SubmitTime = start + (j.SubmitTime-start)/4
+		if j.RequestedProcs > 64 {
+			j.RequestedProcs = 64
+		}
+	}
+	return stream
+}
+
+// fleetChurnPlan is the full lifecycle over the stream's arrival span:
+// join at 10%, announced failure of one big member at 70% (notice from
+// 30%), graceful drain of the small member at 90% (notice from 75%).
+func fleetChurnPlan(stream []*job.Job) fleet.ChurnPlan {
+	span := stream[len(stream)-1].SubmitTime - stream[0].SubmitTime
+	at := func(frac float64) float64 { return stream[0].SubmitTime + frac*span }
+	return fleet.ChurnPlan{
+		{Kind: fleet.ChurnJoin, Time: at(0.10), Member: fleet.MemberConfig{
+			Name:      "late-128",
+			Sim:       sim.Config{Processors: 128, Backfill: true, MaxObserve: 32},
+			Scheduler: sched.FCFS(),
+		}},
+		{Kind: fleet.ChurnFail, Time: at(0.70), Name: "c01-256", Notice: 0.4 * span},
+		{Kind: fleet.ChurnDrain, Time: at(0.90), Name: "c03-64", Notice: 0.15 * span},
+	}
+}
+
+// fleetChurnRate caches measured placements/s per variant so the churned
+// snapshot can report its overhead over the static reference.
+var fleetChurnRate = map[string]float64{}
+
+func benchmarkFleetChurn(b *testing.B, churn bool, snapshot string) {
+	stream := fleetChurnStream()
+	f, err := fleet.New(fleetChurnMembers(), fleet.ChurnAwarePipeline())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if churn {
+		if err := f.EnableChurn(fleetChurnPlan(stream)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	forced := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := f.Run(cloneFleetStream(stream))
+		if err != nil {
+			b.Fatal(err)
+		}
+		forced = res.Churn.Forced
+	}
+	b.StopTimer()
+	placed := float64(b.N * len(stream))
+	rate := placed / b.Elapsed().Seconds()
+	b.ReportMetric(rate, "placements/s")
+	key := "static"
+	if churn {
+		key = "churn"
+	}
+	fleetChurnRate[key] = rate
+	if snapshot == "" {
+		return
+	}
+	metrics := map[string]float64{
+		"arrivals":         float64(len(stream)),
+		"forced_moves":     float64(forced),
+		"placements_per_s": rate,
+	}
+	if ref, ok := fleetChurnRate["static"]; ok && churn && rate > 0 {
+		metrics["static_placements_per_s"] = ref
+		metrics["overhead_x"] = ref / rate
+	}
+	writeBenchSnapshot(b, snapshot, metrics)
+}
+
+// BenchmarkFleetChurn pairs the static reference with the full-lifecycle
+// churned run (run static first, as the full suite does, and the churned
+// snapshot records the overhead ratio). The checked-in
+// BENCH_fleetchurn.json comes from the churned point.
+func BenchmarkFleetChurn(b *testing.B) {
+	b.Run("static", func(b *testing.B) { benchmarkFleetChurn(b, false, "") })
+	b.Run("lifecycle", func(b *testing.B) { benchmarkFleetChurn(b, true, "fleetchurn") })
+}

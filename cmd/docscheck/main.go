@@ -8,13 +8,13 @@
 //     must not depend on the network).
 //
 //  2. Godoc coverage: every exported identifier in internal/fleet,
-//     internal/metrics, internal/obs and internal/cluster, and in the
-//     internal/sim incremental stepping surface (stepper.go), must carry
-//     a doc comment, so `go doc` stays a complete reference for the
-//     placement/migration/fairness subsystem, the metric surface it
-//     optimizes, and the event-heap stepping substrate underneath it.
-//     New exported API without documentation fails CI — coverage can
-//     only regress loudly.
+//     internal/metrics, internal/obs and internal/cluster, in the
+//     internal/sim incremental stepping surface (stepper.go), and in the
+//     internal/trace zoo registry (zoo.go), must carry a doc comment, so
+//     `go doc` stays a complete reference for the placement/migration/
+//     fairness subsystem, the metric surface it optimizes, and the
+//     event-heap stepping substrate underneath it. New exported API
+//     without documentation fails CI — coverage can only regress loudly.
 //
 // Usage: go run ./cmd/docscheck [repo-root]
 package main
@@ -45,6 +45,7 @@ var godocTargets = []struct {
 	{dir: "internal/obs"},
 	{dir: "internal/sim", file: "stepper.go"},
 	{dir: "internal/telemetry"},
+	{dir: "internal/trace", file: "zoo.go"},
 }
 
 // linkPattern matches inline markdown links [text](target).

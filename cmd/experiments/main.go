@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,19 @@ import (
 
 	"rlsched/internal/exp"
 	"rlsched/internal/serve"
+	"rlsched/internal/trace"
 )
+
+// zooStatsJobs sizes the per-workload sample the -zoo summary is computed
+// from — large enough for stable Table II-style statistics, small enough
+// to stay instant.
+const zooStatsJobs = 2000
+
+// printZoo summarizes every trace-zoo workload (archive presets and chaos
+// generators) at the given seed.
+func printZoo(w io.Writer, seed int64) {
+	trace.WriteZooSummary(w, zooStatsJobs, seed)
+}
 
 // perIDPath dedicates a per-experiment output file when several experiments
 // run in one invocation: "out.json" → "out.table5.json".
@@ -57,6 +70,11 @@ func main() {
 		"scale fleet experiments to N member clusters by cycling each scenario's size template (0 = pinned default fleet)")
 	migrate := flag.String("migrate", "",
 		"cross-cluster migration policy for fleet experiments: off|hysteresis|always")
+	churn := flag.String("churn", "",
+		"churn scenario for the fleet-churn experiment: full|drain|join|fail (default full)")
+	constraints := flag.String("constraints", "",
+		"constraint set for the fleet-constraints experiment: full|taints|affinity (default full)")
+	zoo := flag.Bool("zoo", false, "print the trace-zoo summary (archive presets + chaos generators) and exit")
 	tracePath := flag.String("trace", "",
 		"write a Chrome trace-event / Perfetto timeline of a representative fleet run here (fleet experiments; open at ui.perfetto.dev)")
 	timeseriesPath := flag.String("timeseries", "",
@@ -93,6 +111,10 @@ func main() {
 		for _, id := range exp.IDs() {
 			fmt.Println(id)
 		}
+		return
+	}
+	if *zoo {
+		printZoo(os.Stdout, *seed)
 		return
 	}
 	if *run == "" {
@@ -144,6 +166,8 @@ func main() {
 		o.Clusters = *clusters
 	}
 	o.Migrate = *migrate
+	o.Churn = *churn
+	o.Constraints = *constraints
 
 	ids := []string{*run}
 	if *run == "all" {

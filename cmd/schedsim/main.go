@@ -43,7 +43,13 @@ func main() {
 		"write a Chrome trace-event / Perfetto timeline of one replayed sequence here")
 	timeseries := flag.String("timeseries", "",
 		"write sampled health series (utilization, queue depth, pending/running work, bsld) of one replayed sequence as JSON here")
+	zoo := flag.Bool("zoo", false, "print the trace-zoo summary (archive presets + chaos generators) and exit")
 	flag.Parse()
+
+	if *zoo {
+		trace.WriteZooSummary(os.Stdout, *jobs, *seed)
+		return
+	}
 
 	var tr *trace.Trace
 	var err error
@@ -53,9 +59,11 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		tr = trace.Preset(*preset, *jobs, *seed)
+		// ZooTrace resolves the archive presets and the chaos generators
+		// through one registry, so -preset accepts any zoo name.
+		tr = trace.ZooTrace(*preset, *jobs, *seed)
 		if tr == nil {
-			fatal(fmt.Errorf("unknown preset %q (have %v)", *preset, trace.PresetNames))
+			fatal(fmt.Errorf("unknown preset %q (have %v)", *preset, trace.ZooNames()))
 		}
 	}
 

@@ -1,0 +1,394 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rlsched/internal/fleet"
+	"rlsched/internal/job"
+	"rlsched/internal/metrics"
+	"rlsched/internal/sched"
+	"rlsched/internal/sim"
+	"rlsched/internal/trace"
+)
+
+func init() {
+	registry["fleet-churn"] = FleetChurn
+}
+
+// churnSeeds is how many seed variants the fleet-churn self-check spans:
+// under the full lifecycle scenario the churn-aware router must win the
+// paired sign test on fleet bounded slowdown over all of their streams.
+const churnSeeds = 5
+
+// churnStreamsN, churnStreamLen and churnTraceJobs fix the campaign
+// geometry per seed. The load regime — a busy fleet losing members
+// mid-stream — is what the self-check is calibrated against, so the
+// campaign does not stretch with -scale (which still controls the
+// observation window).
+const (
+	churnStreamsN  = 4
+	churnStreamLen = 160
+	churnTraceJobs = 800
+)
+
+// Churn plan geometry, as fractions of the stream's arrival span: a fresh
+// member joins early, a big member's failure is announced across a wide
+// window (a reclamation warning — work started on it inside the window is
+// lost at eviction), and the small member's graceful drain is announced
+// late and lands near the end.
+const (
+	churnJoinFrac         = 0.10
+	churnFailAnnounceFrac = 0.30
+	churnFailFrac         = 0.70
+	churnAnnounceFrac     = 0.75
+	churnDrainFrac        = 0.90
+)
+
+// churnTrace synthesizes the evaluation workload: steady pressure sized so
+// the [256, 256, 128, 64] fleet runs busy but not saturated — evicting the
+// failed 256-proc member's running work is what the blind router pays for.
+func churnTrace(jobs int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	return trace.GenerateSynth(trace.SynthConfig{
+		Name:             "fleet-churn",
+		Processors:       256,
+		Jobs:             jobs,
+		MeanInterarrival: 180,
+		Burstiness:       2,
+		BurstLen:         10,
+		MeanRuntime:      5000,
+		RuntimeSigma:     1.5,
+		MeanProcs:        16,
+		SerialProb:       0.3,
+		EstimateFactor:   2,
+		Users:            16,
+		UserSkew:         0.5,
+	}, rng)
+}
+
+// churnMembers is the fleet the churn experiment starts with: EASY
+// backfilling FCFS on the sized members, so queue position is what a late
+// forced re-placement loses (under SJF a re-placed short job jumps the
+// destination queue anyway, hiding the churn-blind penalty). The scenario
+// pins the member names its churn plan targets, so -clusters synthesis
+// does not apply here.
+func churnMembers(o Options) []fleet.MemberConfig {
+	return []fleet.MemberConfig{
+		{Name: "large-a-256", Sim: sim.Config{Processors: 256, Backfill: true, MaxObserve: o.MaxObserve}, Scheduler: sched.FCFS()},
+		{Name: "large-b-256", Sim: sim.Config{Processors: 256, Backfill: true, MaxObserve: o.MaxObserve}, Scheduler: sched.FCFS()},
+		{Name: "mid-128", Sim: sim.Config{Processors: 128, Backfill: true, MaxObserve: o.MaxObserve}, Scheduler: sched.FCFS()},
+		{Name: "small-64", Sim: sim.Config{Processors: 64, Backfill: true, MaxObserve: o.MaxObserve}, Scheduler: sched.F1()},
+	}
+}
+
+// churnJoinMember is the mid-run replacement capacity of the full and join
+// scenarios.
+func churnJoinMember(o Options) fleet.MemberConfig {
+	return fleet.MemberConfig{
+		Name:      "late-128",
+		Sim:       sim.Config{Processors: 128, Backfill: true, MaxObserve: o.MaxObserve},
+		Scheduler: sched.FCFS(),
+	}
+}
+
+// churnPlanFor builds the scenario's churn plan against one stream's
+// arrival span. Scenario names (Options.Churn / -churn): "" or "full" runs
+// join, announced fail, and announced drain together; "drain", "join" and
+// "fail" run each membership change in isolation.
+func churnPlanFor(o Options, stream []*job.Job, scenario string) (fleet.ChurnPlan, error) {
+	span := stream[len(stream)-1].SubmitTime - stream[0].SubmitTime
+	start := stream[0].SubmitTime
+	at := func(frac float64) float64 { return start + frac*span }
+	drain := fleet.ChurnEvent{
+		Kind: fleet.ChurnDrain, Name: "small-64",
+		Time: at(churnDrainFrac), Notice: (churnDrainFrac - churnAnnounceFrac) * span,
+	}
+	join := fleet.ChurnEvent{Kind: fleet.ChurnJoin, Member: churnJoinMember(o), Time: at(churnJoinFrac)}
+	fail := fleet.ChurnEvent{
+		Kind: fleet.ChurnFail, Name: "large-b-256",
+		Time: at(churnFailFrac), Notice: (churnFailFrac - churnFailAnnounceFrac) * span,
+	}
+	switch scenario {
+	case "", "full":
+		return fleet.ChurnPlan{drain, join, fail}, nil
+	case "drain":
+		return fleet.ChurnPlan{drain}, nil
+	case "join":
+		return fleet.ChurnPlan{join}, nil
+	case "fail":
+		return fleet.ChurnPlan{fail}, nil
+	}
+	return nil, fmt.Errorf("exp: unknown churn scenario %q (full|drain|join|fail)", scenario)
+}
+
+// churnStreams samples the seed's evaluation streams (identical across
+// routers for a fixed seed).
+func churnStreams(o Options, seed int64) [][]*job.Job {
+	tr := churnTrace(churnTraceJobs, seed)
+	rng := rand.New(rand.NewSource(seed + 11000))
+	out := make([][]*job.Job, churnStreamsN)
+	for s := range out {
+		out[s] = tr.SampleWindow(rng, churnStreamLen)
+	}
+	return out
+}
+
+// churnCase aggregates one router's campaign over every stream of a seed.
+// streams keeps the per-stream fleet bsld for the paired sign test (the
+// two routers run the identical streams under the identical plan).
+type churnCase struct {
+	bsld, util float64
+	churn      fleet.ChurnStats
+	streams    []float64
+}
+
+// checkConservation asserts the churn invariant that makes the rest of the
+// table trustworthy: every stream job completes exactly once — nothing is
+// lost in a withdraw, nothing duplicated by a re-place.
+func checkConservation(stream []*job.Job, res *fleet.Result) error {
+	if len(res.Fleet.Jobs) != len(stream) {
+		return fmt.Errorf("job conservation violated: %d in, %d completed",
+			len(stream), len(res.Fleet.Jobs))
+	}
+	want := make(map[int]int, len(stream))
+	for _, j := range stream {
+		want[j.ID]++
+	}
+	for _, j := range res.Fleet.Jobs {
+		want[j.ID]--
+		if want[j.ID] < 0 {
+			return fmt.Errorf("job conservation violated: job %d completed more than once", j.ID)
+		}
+	}
+	for id, n := range want {
+		if n != 0 {
+			return fmt.Errorf("job conservation violated: job %d never completed", id)
+		}
+	}
+	return nil
+}
+
+// runChurnCampaign runs the router over every stream of the seed under the
+// scenario's churn plan, enforcing job conservation on every run.
+func runChurnCampaign(o Options, seed int64, build func() fleet.Router, scenario string) (churnCase, []int, error) {
+	var c churnCase
+	var firstAssign []int
+	streams := churnStreams(o, seed)
+	for _, stream := range streams {
+		router := build()
+		f, err := fleet.New(churnMembers(o), router)
+		if err != nil {
+			return c, nil, err
+		}
+		plan, err := churnPlanFor(o, stream, scenario)
+		if err != nil {
+			return c, nil, err
+		}
+		if err := f.EnableChurn(plan); err != nil {
+			return c, nil, err
+		}
+		res, err := f.Run(stream)
+		if err != nil {
+			return c, nil, fmt.Errorf("fleet-churn: %s: %w", router.Name(), err)
+		}
+		if err := checkConservation(stream, res); err != nil {
+			return c, nil, fmt.Errorf("fleet-churn: %s: %w", router.Name(), err)
+		}
+		bsld := metrics.Value(metrics.BoundedSlowdown, res.Fleet)
+		c.streams = append(c.streams, bsld)
+		c.bsld += bsld
+		c.util += res.Fleet.Utilization
+		c.churn.Joins += res.Churn.Joins
+		c.churn.Drains += res.Churn.Drains
+		c.churn.Fails += res.Churn.Fails
+		c.churn.Forced += res.Churn.Forced
+		if firstAssign == nil {
+			firstAssign = res.Assignments
+		}
+	}
+	n := float64(len(streams))
+	c.bsld /= n
+	c.util /= n
+	return c, firstAssign, nil
+}
+
+// FleetChurn measures placement under cluster churn: mid-stream the fleet
+// gains a 128-proc member, loses a 256-proc member to an announced
+// failure (running work evicted), and loses the 64-proc member to an
+// announced graceful drain (running work finishes, pending moves). The
+// churn-aware router (least-loaded + AvoidDraining) is compared against the
+// churn-blind least-loaded baseline under the identical plan and streams.
+//
+// Self-checks:
+//
+//  1. Job conservation on every run: each stream job completes exactly
+//     once across the fleet, through withdraws, evictions and re-places.
+//  2. The plan executed: every run reports the scenario's join/drain/fail
+//     counts, and drains/fails actually forced re-placements.
+//  3. Across churnSeeds seeds, churn-aware beats churn-blind on fleet
+//     bounded slowdown under a paired sign test: the routers run identical
+//     streams under identical plans, and churn-aware must win strictly
+//     more stream pairs than it loses. The win rides the failure's warning
+//     window — work the blind router starts on the doomed member is lost
+//     at eviction, while the aware router steers unsafe work around it —
+//     and needs the join's replacement capacity to make steering cheap, so
+//     it is asserted for the full lifecycle scenario. The isolated
+//     scenarios are report-only: fail alone trades steering cost against
+//     eviction savings near evenly, and drain/join carry no eviction
+//     warning at all, so there churn-aware coincides with churn-blind by
+//     construction.
+//  4. Determinism: a freshly built fleet re-runs the first stream of each
+//     seed to identical assignments.
+func FleetChurn(o Options) ([]Artifact, error) {
+	scenario := o.Churn
+	if _, err := churnPlanFor(o, []*job.Job{{SubmitTime: 0}, {SubmitTime: 1}}, scenario); err != nil {
+		return nil, err
+	}
+	type routerCase struct {
+		name  string
+		build func() fleet.Router
+	}
+	routers := []routerCase{
+		{"churn-blind", func() fleet.Router { return fleet.LeastLoadedPipeline() }},
+		{"churn-aware", func() fleet.Router { return fleet.ChurnAwarePipeline() }},
+	}
+
+	scenarioName := scenario
+	if scenarioName == "" {
+		scenarioName = "full"
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Fleet churn (%s): %d seeds × %d × %d-job streams over [256+256+128+64], join@%.0f%%, fail@%.0f%%+notice, drain@%.0f%%+notice",
+			scenarioName, churnSeeds, churnStreamsN, churnStreamLen,
+			churnJoinFrac*100, churnFailFrac*100, churnDrainFrac*100),
+		Header: []string{"Router", "fleet bsld", "fleet util", "forced moves", "joins/drains/fails"},
+	}
+	cases := map[string][]churnCase{}
+	deterministic := true
+	for s := 0; s < churnSeeds; s++ {
+		seed := o.Seed + int64(s)
+		for _, rc := range routers {
+			donePhase := o.phase(fmt.Sprintf("evaluate/seed%d/%s", s, rc.name))
+			c, assign, err := runChurnCampaign(o, seed, rc.build, scenario)
+			if err != nil {
+				return nil, err
+			}
+			cases[rc.name] = append(cases[rc.name], c)
+			c2, assign2, err := runChurnCampaign(o, seed, rc.build, scenario)
+			if err != nil {
+				return nil, err
+			}
+			if c2.bsld != c.bsld || c2.util != c.util || c2.churn != c.churn ||
+				len(assign2) != len(assign) {
+				deterministic = false
+			}
+			for i := range assign {
+				if assign[i] != assign2[i] {
+					deterministic = false
+				}
+			}
+			donePhase()
+		}
+	}
+
+	agg := func(name string) (bsld, util float64, st fleet.ChurnStats) {
+		for _, c := range cases[name] {
+			bsld += c.bsld
+			util += c.util
+			st.Joins += c.churn.Joins
+			st.Drains += c.churn.Drains
+			st.Fails += c.churn.Fails
+			st.Forced += c.churn.Forced
+		}
+		n := float64(len(cases[name]))
+		return bsld / n, util / n, st
+	}
+	for _, rc := range routers {
+		bsld, util, st := agg(rc.name)
+		t.AddRow(rc.name,
+			fmt.Sprintf("%.2f", bsld),
+			fmt.Sprintf("%.3f", util),
+			fmt.Sprintf("%d", st.Forced),
+			fmt.Sprintf("%d/%d/%d", st.Joins, st.Drains, st.Fails))
+	}
+
+	var violations []string
+	// 2. The plan executed everywhere it was scheduled.
+	runs := churnSeeds * churnStreamsN
+	wantJoins, wantDrains, wantFails := 0, 0, 0
+	switch scenarioName {
+	case "full":
+		wantJoins, wantDrains, wantFails = runs, runs, runs
+	case "drain":
+		wantDrains = runs
+	case "join":
+		wantJoins = runs
+	case "fail":
+		wantFails = runs
+	}
+	for _, rc := range routers {
+		_, _, st := agg(rc.name)
+		if st.Joins != wantJoins || st.Drains != wantDrains || st.Fails != wantFails {
+			violations = append(violations, fmt.Sprintf(
+				"%s executed %d/%d/%d joins/drains/fails, want %d/%d/%d",
+				rc.name, st.Joins, st.Drains, st.Fails, wantJoins, wantDrains, wantFails))
+		}
+		if (wantDrains > 0 || wantFails > 0) && st.Forced == 0 {
+			violations = append(violations, fmt.Sprintf(
+				"%s: drains/fails forced no re-placements — the scenario exercised nothing", rc.name))
+		}
+	}
+	// 3. The churn-aware win (eviction-warning scenarios only), asserted as
+	// a paired sign test: both routers run the identical streams under the
+	// identical plan, so each stream is one paired trial, and churn-aware
+	// must win strictly more trials than it loses. Fleet bounded slowdown
+	// is heavy-tailed — a single unlucky short job can dominate one
+	// stream's mean — so the sign test over pairs, not the difference of
+	// campaign means, is the robust form of "beats on fleet bsld".
+	checkWin := scenarioName == "full"
+	if checkWin {
+		wins, losses := 0, 0
+		for s := 0; s < churnSeeds; s++ {
+			as, bs := cases["churn-aware"][s].streams, cases["churn-blind"][s].streams
+			for i := range as {
+				switch {
+				case as[i] < bs[i]:
+					wins++
+				case as[i] > bs[i]:
+					losses++
+				}
+			}
+		}
+		if wins <= losses {
+			violations = append(violations, fmt.Sprintf(
+				"paired sign test: churn-aware won %d and lost %d of %d streams (must win strictly more)",
+				wins, losses, churnSeeds*churnStreamsN))
+		}
+		if len(violations) == 0 {
+			blind, _, _ := agg("churn-blind")
+			aware, _, _ := agg("churn-aware")
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"churn win verified across %d seeds: churn-aware beat churn-blind on %d and lost %d of %d paired streams (campaign mean fleet bsld %.2f vs %.2f)",
+				churnSeeds, wins, losses, churnSeeds*churnStreamsN, aware, blind))
+		}
+	} else if scenarioName == "fail" {
+		t.Notes = append(t.Notes,
+			"scenario \"fail\" lacks the join's replacement capacity: steering costs offset eviction savings, so routers are reported, not ranked (the win is asserted for the full lifecycle)")
+	} else {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"scenario %q carries no eviction warning: churn-aware coincides with churn-blind by construction", scenarioName))
+	}
+	note := "determinism + conservation: assignments reproduced exactly across rebuilt fleets; every job completed exactly once"
+	if !deterministic {
+		note = "determinism: VIOLATED — assignments differed across rebuilt fleets"
+		violations = append(violations, "assignments were not deterministic")
+	}
+	t.Notes = append(t.Notes, note)
+
+	if len(violations) > 0 {
+		t.Notes = append(t.Notes, "churn self-check VIOLATED: "+violations[0])
+		return []Artifact{t}, fmt.Errorf("fleet-churn: self-check failed: %s", violations[0])
+	}
+	return []Artifact{t}, nil
+}

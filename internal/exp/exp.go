@@ -53,6 +53,15 @@ type Options struct {
 	// placement), "hysteresis", or "always" (see internal/fleet and the
 	// fleet-migration experiment, which always compares all three).
 	Migrate string
+	// Churn selects the fleet-churn experiment's churn scenario: "" or
+	// "full" (announced drain + mid-run join + unannounced failure),
+	// "drain", "join", or "fail" for each membership change in isolation.
+	Churn string
+	// Constraints selects the fleet-constraints experiment's constraint
+	// set: "" or "full" (taints + class affinity as hard filters, domain
+	// spread + steadiness as soft scorers), "taints", or "affinity" for
+	// each hard gate alone.
+	Constraints string
 	// TracePath, when set, makes trace-capable experiments (the fleet
 	// experiments) record one representative run through an obs.Collector
 	// and write it as a Chrome trace-event / Perfetto timeline. Recording

@@ -1,0 +1,265 @@
+package fleet
+
+import (
+	"sync"
+
+	"rlsched/internal/job"
+)
+
+// Placement constraint plugins (DESIGN.md §12), mirroring the plugin split
+// of multi-cluster placement schedulers (OCM's placement plugins): hard
+// constraints are Filters — a taint/toleration gate and a job→cluster-class
+// affinity gate — and soft preferences are Scorers — spreading load across
+// failure domains and keeping a job's prior assignment steady across
+// re-evaluations. Member attributes (MemberAttrs, static per member) meet
+// per-job requirements (JobConstraints, derived from the job by a
+// ConstraintSource) inside the normal filter/score pipeline, so constrained
+// placement composes with every other plugin and rides the recorded
+// decision traces unchanged — the fleet-constraints experiment re-verifies
+// every winner against the constraint tables from those traces alone.
+
+// Taint marks a member as repelling jobs that do not explicitly tolerate
+// it (e.g. {"dedicated", "gpu"} on an accelerator partition).
+type Taint struct {
+	// Key names the taint; Value qualifies it.
+	Key, Value string
+}
+
+// Toleration is a job-side pass for a matching taint.
+type Toleration struct {
+	// Key must equal the taint's key. An empty Value tolerates every value
+	// of that key; otherwise the values must match exactly.
+	Key, Value string
+}
+
+// Tolerates reports whether this toleration covers the taint.
+func (t Toleration) Tolerates(taint Taint) bool {
+	return t.Key == taint.Key && (t.Value == "" || t.Value == taint.Value)
+}
+
+// MemberAttrs are a member's static placement attributes, declared in
+// MemberConfig and surfaced on every Candidate for constraint plugins.
+type MemberAttrs struct {
+	// Class is the member's cluster class (e.g. "gpu", "cpu"); jobs pin to
+	// a class via JobConstraints.RequiredClass.
+	Class string
+	// FailureDomain groups members that fail together (rack, zone); the
+	// spread scorer balances load across domains. Members with an empty
+	// domain each count as their own.
+	FailureDomain string
+	// Taints repel jobs without a matching toleration (TaintFilter).
+	Taints []Taint
+}
+
+// JobConstraints are one job's placement requirements.
+type JobConstraints struct {
+	// Tolerations let the job land on members whose taints they cover.
+	Tolerations []Toleration
+	// RequiredClass pins the job to members of that class ("" = any).
+	RequiredClass string
+}
+
+// ConstraintSource derives a job's constraints from its scheduler-visible
+// attributes (typically QueueID or UserID — SWF traces carry no richer
+// tags). It is called per filter evaluation and must be deterministic and
+// cheap.
+type ConstraintSource func(*job.Job) JobConstraints
+
+// TaintFilter is the hard taint/toleration gate: a candidate is feasible
+// only when every one of its taints is covered by some toleration of the
+// job. Untainted members accept everything; a nil Source tolerates
+// nothing (tainted members become unreachable).
+type TaintFilter struct {
+	// Source derives the job's tolerations.
+	Source ConstraintSource
+}
+
+// Name implements Filter.
+func (TaintFilter) Name() string { return "taint" }
+
+// Feasible implements Filter.
+func (f TaintFilter) Feasible(j *job.Job, c *Candidate) bool {
+	if len(c.Attrs.Taints) == 0 {
+		return true
+	}
+	var tols []Toleration
+	if f.Source != nil {
+		tols = f.Source(j).Tolerations
+	}
+	for _, taint := range c.Attrs.Taints {
+		covered := false
+		for _, t := range tols {
+			if t.Tolerates(taint) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// ClockFree implements ClockFree: taints are static.
+func (TaintFilter) ClockFree() bool { return true }
+
+// AffinityFilter is the hard job→cluster-class gate: a job with a
+// RequiredClass is feasible only on members of that class. Jobs without a
+// requirement (or a nil Source) go anywhere.
+type AffinityFilter struct {
+	// Source derives the job's required class.
+	Source ConstraintSource
+}
+
+// Name implements Filter.
+func (AffinityFilter) Name() string { return "affinity" }
+
+// Feasible implements Filter.
+func (f AffinityFilter) Feasible(j *job.Job, c *Candidate) bool {
+	if f.Source == nil {
+		return true
+	}
+	req := f.Source(j).RequiredClass
+	return req == "" || req == c.Attrs.Class
+}
+
+// ClockFree implements ClockFree: classes are static.
+func (AffinityFilter) ClockFree() bool { return true }
+
+// spreadDomain is the failure-domain key of a candidate: its declared
+// domain, or its own name when unlabeled (every member its own domain).
+func spreadDomain(c *Candidate) string {
+	if d := c.Attrs.FailureDomain; d != "" {
+		return d
+	}
+	return c.Name
+}
+
+// SpreadScorer prefers the least-loaded failure domain: every candidate is
+// scored by the negated committed work (running + pending) summed over its
+// whole domain, so load — and with it blast radius — balances across
+// domains rather than across individual members.
+type SpreadScorer struct{}
+
+// Name implements Scorer.
+func (SpreadScorer) Name() string { return "spread" }
+
+// Score implements Scorer.
+func (SpreadScorer) Score(_ *job.Job, cands []*Candidate, out []float64) {
+	domLoad := make(map[string]float64, len(cands))
+	for _, c := range cands {
+		domLoad[spreadDomain(c)] += c.RunningWork + c.PendingWork
+	}
+	for i, c := range cands {
+		out[i] = -domLoad[spreadDomain(c)]
+	}
+}
+
+// ClockFree implements ClockFree: domain load is clock-independent.
+func (SpreadScorer) ClockFree() bool { return true }
+
+// SteadyScorer prefers a job's prior assignment: the cluster the job was
+// last routed to scores 1, everyone else 0, so a re-evaluation of an
+// unchanged decision (a migration probe, a churn re-place) keeps the job
+// where it is unless something else genuinely outweighs staying. It is a
+// StateScorer (per-run state, fed by the fleet) and an AssignObserver
+// (told every routing decision); completed jobs drop out of the map, so
+// it stays bounded by the in-flight job count.
+type SteadyScorer struct {
+	mu   sync.Mutex
+	last map[int]int // job ID → member index of the latest assignment
+}
+
+// NewSteadyScorer returns an empty steady-assignment scorer.
+func NewSteadyScorer() *SteadyScorer { return &SteadyScorer{last: map[int]int{}} }
+
+// Name implements Scorer.
+func (s *SteadyScorer) Name() string { return "steady" }
+
+// Score implements Scorer.
+func (s *SteadyScorer) Score(j *job.Job, cands []*Candidate, out []float64) {
+	s.mu.Lock()
+	cur, ok := s.last[j.ID]
+	s.mu.Unlock()
+	for i, c := range cands {
+		if ok && c.Index == cur {
+			out[i] = 1
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// Reset implements StateScorer: a new run starts with no history.
+func (s *SteadyScorer) Reset() {
+	s.mu.Lock()
+	s.last = map[int]int{}
+	s.mu.Unlock()
+}
+
+// Observe implements StateScorer: a completed job needs no steadiness.
+func (s *SteadyScorer) Observe(_ int, j *job.Job) {
+	s.mu.Lock()
+	delete(s.last, j.ID)
+	s.mu.Unlock()
+}
+
+// ObserveAssign implements AssignObserver: remember the latest assignment.
+func (s *SteadyScorer) ObserveAssign(cluster int, j *job.Job) {
+	s.mu.Lock()
+	s.last[j.ID] = cluster
+	s.mu.Unlock()
+}
+
+// RetireCluster implements ClusterRetirer: assignments pointing at a
+// retired member are dropped — there is nothing left to be steady toward.
+func (s *SteadyScorer) RetireCluster(cluster int) {
+	s.mu.Lock()
+	for id, c := range s.last {
+		if c == cluster {
+			delete(s.last, id)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// ClockFree implements ClockFree: steadiness is clock-independent.
+func (s *SteadyScorer) ClockFree() bool { return true }
+
+// AssignObserver is the optional capability of scorers that track routing
+// decisions (SteadyScorer): the fleet calls ObserveAssign after every
+// successful placement — arrivals, migration moves, and churn re-places.
+type AssignObserver interface {
+	// ObserveAssign records that j was routed to member index cluster.
+	ObserveAssign(cluster int, j *job.Job)
+}
+
+// AssignObservers returns the pipeline's assignment-observing scorers, in
+// scorer order. The Fleet feeds them every routing decision.
+func (p *Pipeline) AssignObservers() []AssignObserver {
+	var out []AssignObserver
+	for _, ws := range p.Scorers {
+		if ao, ok := ws.Scorer.(AssignObserver); ok {
+			out = append(out, ao)
+		}
+	}
+	return out
+}
+
+// observeAssign feeds one routing decision to the router's assignment
+// observers (no-op for routers without any — the common case).
+func (f *Fleet) observeAssign(k int, j *job.Job) {
+	for _, o := range f.assignObs {
+		o.ObserveAssign(k, j)
+	}
+}
+
+// ConstraintPipeline is the standard constrained router: capacity, taints
+// and class affinity as hard filters; load spreading across members and
+// failure domains plus assignment steadiness as soft preferences.
+func ConstraintPipeline(src ConstraintSource) *Pipeline {
+	return NewPipeline("constrained",
+		[]Filter{CapacityFilter{}, TaintFilter{Source: src}, AffinityFilter{Source: src}},
+		[]WeightedScorer{{LeastLoaded{}, 1}, {SpreadScorer{}, 1}, {NewSteadyScorer(), 0.5}})
+}

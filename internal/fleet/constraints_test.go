@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"testing"
+
+	"rlsched/internal/job"
+	"rlsched/internal/sched"
+	"rlsched/internal/sim"
+)
+
+// Table tests of the placement constraint plugins (constraints.go): the
+// taint/toleration matrix, class affinity, failure-domain spreading,
+// assignment steadiness, and the composed ConstraintPipeline end to end.
+
+func TestTolerationTolerates(t *testing.T) {
+	cases := []struct {
+		name  string
+		tol   Toleration
+		taint Taint
+		want  bool
+	}{
+		{"exact match", Toleration{"dedicated", "gpu"}, Taint{"dedicated", "gpu"}, true},
+		{"wildcard value", Toleration{"dedicated", ""}, Taint{"dedicated", "gpu"}, true},
+		{"wrong value", Toleration{"dedicated", "fpga"}, Taint{"dedicated", "gpu"}, false},
+		{"wrong key", Toleration{"team", "gpu"}, Taint{"dedicated", "gpu"}, false},
+		{"empty-valued taint", Toleration{"dedicated", ""}, Taint{"dedicated", ""}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.tol.Tolerates(tc.taint); got != tc.want {
+			t.Errorf("%s: Tolerates = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTaintFilterFeasible(t *testing.T) {
+	gpu := &Candidate{Attrs: MemberAttrs{Taints: []Taint{{"dedicated", "gpu"}}}}
+	multi := &Candidate{Attrs: MemberAttrs{Taints: []Taint{{"dedicated", "gpu"}, {"team", "ml"}}}}
+	clean := &Candidate{}
+	src := func(tols ...Toleration) ConstraintSource {
+		return func(*job.Job) JobConstraints { return JobConstraints{Tolerations: tols} }
+	}
+	j := &job.Job{}
+	cases := []struct {
+		name string
+		f    TaintFilter
+		c    *Candidate
+		want bool
+	}{
+		{"untainted accepts anything", TaintFilter{}, clean, true},
+		{"nil source vs taint", TaintFilter{}, gpu, false},
+		{"no toleration vs taint", TaintFilter{Source: src()}, gpu, false},
+		{"matching toleration", TaintFilter{Source: src(Toleration{"dedicated", "gpu"})}, gpu, true},
+		{"wildcard toleration", TaintFilter{Source: src(Toleration{"dedicated", ""})}, gpu, true},
+		{"wrong value", TaintFilter{Source: src(Toleration{"dedicated", "fpga"})}, gpu, false},
+		{"one of two covered", TaintFilter{Source: src(Toleration{"dedicated", "gpu"})}, multi, false},
+		{"both covered", TaintFilter{Source: src(
+			Toleration{"dedicated", "gpu"}, Toleration{"team", ""})}, multi, true},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Feasible(j, tc.c); got != tc.want {
+			t.Errorf("%s: Feasible = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if !(TaintFilter{}).ClockFree() {
+		t.Error("TaintFilter must be clock-free")
+	}
+}
+
+func TestAffinityFilterFeasible(t *testing.T) {
+	gpu := &Candidate{Attrs: MemberAttrs{Class: "gpu"}}
+	cpu := &Candidate{Attrs: MemberAttrs{Class: "cpu"}}
+	unclassed := &Candidate{}
+	src := func(class string) ConstraintSource {
+		return func(*job.Job) JobConstraints { return JobConstraints{RequiredClass: class} }
+	}
+	j := &job.Job{}
+	cases := []struct {
+		name string
+		f    AffinityFilter
+		c    *Candidate
+		want bool
+	}{
+		{"nil source", AffinityFilter{}, cpu, true},
+		{"no requirement", AffinityFilter{Source: src("")}, cpu, true},
+		{"matching class", AffinityFilter{Source: src("gpu")}, gpu, true},
+		{"mismatching class", AffinityFilter{Source: src("gpu")}, cpu, false},
+		{"requirement vs unclassed", AffinityFilter{Source: src("gpu")}, unclassed, false},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Feasible(j, tc.c); got != tc.want {
+			t.Errorf("%s: Feasible = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSpreadScorer pins the domain aggregation: candidates are scored by
+// the negated committed work of their whole failure domain, and unlabeled
+// members each count as their own domain.
+func TestSpreadScorer(t *testing.T) {
+	cands := []*Candidate{
+		{Name: "a1", Attrs: MemberAttrs{FailureDomain: "dc-a"}, RunningWork: 100, PendingWork: 50},
+		{Name: "a2", Attrs: MemberAttrs{FailureDomain: "dc-a"}, RunningWork: 30},
+		{Name: "b1", Attrs: MemberAttrs{FailureDomain: "dc-b"}, RunningWork: 40},
+		{Name: "solo", RunningWork: 10},
+	}
+	out := make([]float64, len(cands))
+	SpreadScorer{}.Score(&job.Job{}, cands, out)
+	want := []float64{-180, -180, -40, -10}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("candidate %s: score %g, want %g", cands[i].Name, out[i], want[i])
+		}
+	}
+}
+
+// TestSteadyScorerLifecycle covers the per-job assignment memory across
+// observations, completions, resets and cluster retirement.
+func TestSteadyScorerLifecycle(t *testing.T) {
+	s := NewSteadyScorer()
+	cands := []*Candidate{{Index: 0}, {Index: 1}, {Index: 2}}
+	out := make([]float64, len(cands))
+	j := &job.Job{ID: 42}
+
+	score := func() []float64 { s.Score(j, cands, out); return out }
+	if got := score(); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("unassigned job scored %v, want all zero", got)
+	}
+	s.ObserveAssign(1, j)
+	if got := score(); got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("assigned job scored %v, want preference for cluster 1", got)
+	}
+	s.ObserveAssign(2, j) // latest assignment wins
+	if got := score(); got[1] != 0 || got[2] != 1 {
+		t.Fatalf("re-assigned job scored %v, want preference for cluster 2", got)
+	}
+	s.RetireCluster(2)
+	if got := score(); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("job pinned to a retired cluster scored %v, want all zero", got)
+	}
+	s.ObserveAssign(0, j)
+	s.Observe(0, j) // completion drops the entry
+	if got := score(); got[0] != 0 {
+		t.Fatalf("completed job scored %v, want no steadiness", got)
+	}
+	s.ObserveAssign(0, j)
+	s.Reset()
+	if got := score(); got[0] != 0 {
+		t.Fatalf("scored %v after Reset, want all zero", got)
+	}
+}
+
+// TestConstraintPipelineEndToEnd runs the composed constrained router over
+// a mixed stream: every gpu job (QueueID 1) must land on the gpu class,
+// and no untolerating job may touch the tainted members.
+func TestConstraintPipelineEndToEnd(t *testing.T) {
+	members := []MemberConfig{
+		{Name: "gpu-a", Sim: sim.Config{Processors: 128, MaxObserve: 32}, Scheduler: sched.SJF(),
+			Attrs: MemberAttrs{Class: "gpu", FailureDomain: "dc-a",
+				Taints: []Taint{{"dedicated", "gpu"}}}},
+		{Name: "cpu-a", Sim: sim.Config{Processors: 256, MaxObserve: 32}, Scheduler: sched.SJF(),
+			Attrs: MemberAttrs{Class: "cpu", FailureDomain: "dc-a"}},
+		{Name: "cpu-b", Sim: sim.Config{Processors: 256, MaxObserve: 32}, Scheduler: sched.SJF(),
+			Attrs: MemberAttrs{Class: "cpu", FailureDomain: "dc-b"}},
+	}
+	src := func(j *job.Job) JobConstraints {
+		if j.QueueID == 1 {
+			return JobConstraints{
+				RequiredClass: "gpu",
+				Tolerations:   []Toleration{{"dedicated", "gpu"}},
+			}
+		}
+		return JobConstraints{}
+	}
+	stream := lublinStream(t, 300, 53)
+	for i, j := range stream {
+		j.QueueID = 0
+		if i%4 == 0 {
+			j.QueueID = 1
+			if j.RequestedProcs > 128 {
+				j.RequestedProcs = 128
+			}
+		}
+	}
+	f, err := New(members, ConstraintPipeline(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(cloneStream(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range stream {
+		name := members[res.Assignments[i]].Name
+		if j.QueueID == 1 && name != "gpu-a" {
+			t.Fatalf("gpu job %d placed on %q", i, name)
+		}
+		if j.QueueID != 1 && name == "gpu-a" {
+			t.Fatalf("untolerating job %d placed on the tainted gpu member", i)
+		}
+	}
+}

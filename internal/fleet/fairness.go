@@ -210,6 +210,21 @@ func (f *FairnessScorer) Reset() {
 	f.mu.Unlock()
 }
 
+// RetireCluster implements ClusterRetirer: every user's per-cluster share
+// on the retired member is dropped — the repulsion term must not keep
+// penalizing (or the index, if reused by a later join, inherit) history
+// from capacity that no longer exists. Fleet-wide shares keep the service
+// record: the user *was* served there, and deprivation is measured
+// fleet-wide.
+func (f *FairnessScorer) RetireCluster(cluster int) {
+	f.mu.Lock()
+	for _, u := range f.users {
+		delete(u.clSum, cluster)
+		delete(u.clN, cluster)
+	}
+	f.mu.Unlock()
+}
+
 // bucket collapses unknown users (UserID < 0) into the -1 bucket, matching
 // metrics.PerUser.
 func bucket(uid int) int {

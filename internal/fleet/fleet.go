@@ -46,6 +46,28 @@ type Candidate struct {
 	Name string
 	// Visible is the member's scheduler-visible pending queue (FCFS order).
 	Visible []*job.Job
+	// Draining reports the member has been announced for drain (churn.go):
+	// it still serves, but its capacity is leaving — churn-aware scorers
+	// (AvoidDraining) steer new work elsewhere. A retired member never
+	// appears feasible at all: its View is zeroed, so the capacity filter
+	// rejects it everywhere.
+	Draining bool
+	// DrainTime is the announced retirement instant of a draining member
+	// (the deadline the drain or failure fires at), 0 when none was
+	// announced. Deadline-aware churn plugins (AvoidDraining) compare it
+	// against Now to keep using the member for work that safely completes
+	// before the capacity leaves.
+	DrainTime float64
+	// Evicting distinguishes the severity of an announced retirement:
+	// true for a failure warning (running jobs will be killed at DrainTime,
+	// losing their progress), false for a graceful drain (running jobs
+	// finish; only pending work is re-placed). Churn plugins penalize work
+	// on evicting members — placing on a graceful drainer costs at most a
+	// cheap re-place.
+	Evicting bool
+	// Attrs are the member's static placement attributes (class, failure
+	// domain, taints) consumed by the constraint plugins (constraints.go).
+	Attrs MemberAttrs
 }
 
 // Router picks the cluster an arriving job is routed to, returning an
@@ -75,6 +97,9 @@ type MemberConfig struct {
 	Name      string
 	Sim       sim.Config
 	Scheduler sim.Scheduler
+	// Attrs are the member's static placement attributes for constraint
+	// plugins (constraints.go). The zero value is unconstrained.
+	Attrs MemberAttrs
 }
 
 // member wraps a simulator driven through the incremental stepping
@@ -100,6 +125,21 @@ type member struct {
 	// the idle-members regression test asserts on. Written by at most one
 	// goroutine at a time (stepWake blocks are disjoint).
 	syncs int
+	// attrs are the member's static placement attributes (constraints.go).
+	attrs MemberAttrs
+	// state is the run-scoped churn lifecycle state (churn.go); gone marks
+	// a permanently drained member (Fleet.Drain), which starts every run
+	// retired; transient marks a member a ChurnPlan joined mid-run, removed
+	// again at the next reset.
+	state     memberState
+	gone      bool
+	transient bool
+	// drainAt is the announced retirement instant while state is
+	// stateDraining (run-scoped, mirrored into Candidate.DrainTime);
+	// evicting marks the announcement as a failure warning (running jobs
+	// die at drainAt) rather than a graceful drain.
+	drainAt  float64
+	evicting bool
 }
 
 // pump applies local scheduling decisions at the current instant without
@@ -182,6 +222,16 @@ type Fleet struct {
 	// routers): reset per run and fed member completions before every
 	// placement and re-placement decision.
 	stateful []StateScorer
+	// assignObs lists the router's AssignObservers (constraints.go), fed
+	// every successful routing decision; empty for almost all routers.
+	assignObs []AssignObserver
+	// churnPlan schedules mid-run membership changes (churn.go; nil = off,
+	// the zero-cost default); baseN is the permanent member count runs
+	// reset to (mid-run joins are transient); lastChurn retains the most
+	// recent run's churn controller for white-box tests.
+	churnPlan ChurnPlan
+	baseN     int
+	lastChurn *churner
 	// lastMig retains the most recent run's migration controller state for
 	// white-box invariant tests.
 	lastMig *migrator
@@ -239,21 +289,26 @@ func New(members []MemberConfig, router Router) (*Fleet, error) {
 			cfg:   mc.Sim,
 			sim:   sim.New(mc.Sim),
 			sched: mc.Scheduler,
+			attrs: mc.Attrs,
 		})
 	}
 	n := len(f.members)
+	f.baseN = n
 	f.candStore = make([]Candidate, n)
 	f.sims = make([]*sim.Simulator, n)
 	f.active = make([]bool, n)
 	f.dirtyFlag = make([]bool, n)
 	f.obsFlag = make([]bool, n)
 	for i, m := range f.members {
-		f.candStore[i] = Candidate{Index: i, Name: m.name}
+		f.candStore[i] = Candidate{Index: i, Name: m.name, Attrs: m.attrs}
 		f.cands = append(f.cands, &f.candStore[i])
 		f.sims[i] = m.sim
 	}
 	if sp, ok := router.(interface{ StateScorers() []StateScorer }); ok {
 		f.stateful = sp.StateScorers()
+	}
+	if ap, ok := router.(interface{ AssignObservers() []AssignObserver }); ok {
+		f.assignObs = ap.AssignObservers()
 	}
 	if cf, ok := router.(ClockFree); ok && cf.ClockFree() {
 		f.clockFree = true
@@ -332,12 +387,31 @@ func (f *Fleet) placeRecorded(j *job.Job, cands []*Candidate) int {
 
 // reset returns every member to an idle cluster at t=0 and clears all
 // stateful-scorer and event-heap state (a Fleet is reusable across Runs).
+// Members a ChurnPlan joined mid-run are transient and dropped here (the
+// per-member arrays shrink back to the permanent prefix, so the cached
+// candidate pointers stay valid); permanently drained members (Drain)
+// start the run retired.
 func (f *Fleet) reset() error {
 	f.events = f.events[:0]
 	f.wake = f.wake[:0]
 	f.dirtyList = f.dirtyList[:0]
 	f.obsList = f.obsList[:0]
+	if len(f.members) > f.baseN {
+		f.members = f.members[:f.baseN]
+		f.candStore = f.candStore[:f.baseN]
+		f.cands = f.cands[:f.baseN]
+		f.sims = f.sims[:f.baseN]
+		f.active = f.active[:f.baseN]
+		f.dirtyFlag = f.dirtyFlag[:f.baseN]
+		f.obsFlag = f.obsFlag[:f.baseN]
+	}
 	for i, m := range f.members {
+		m.state = stateActive
+		m.drainAt = 0
+		m.evicting = false
+		if m.gone {
+			m.state = stateRetired
+		}
 		if err := m.sim.Load(nil); err != nil {
 			return err
 		}
@@ -392,8 +466,9 @@ type ClusterResult struct {
 	Processors int
 	// Placements counts the jobs the router assigned here at arrival.
 	Placements int
-	// MovedIn / MovedOut count migration moves into and out of the
-	// member (zero when migration is disabled).
+	// MovedIn / MovedOut count cross-cluster moves into and out of the
+	// member: migration-sweep moves plus churn-forced re-placements
+	// (zero when both migration and churn are disabled).
 	MovedIn  int
 	MovedOut int
 	// Result is the member's scheduling result; its migration fields
@@ -410,6 +485,9 @@ type Result struct {
 	Fleet metrics.Result
 	// Assignments[i] is the member index stream job i was routed to.
 	Assignments []int
+	// Churn summarizes the membership changes the run executed (zero
+	// without a churn plan).
+	Churn ChurnStats
 }
 
 // Run routes the submit-ordered stream across the fleet and schedules
@@ -437,6 +515,11 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 	if f.samCfg != nil {
 		sam = f.newSampler(stream[0].SubmitTime)
 	}
+	var ch *churner
+	if f.churnPlan != nil {
+		ch = newChurner(f.churnPlan)
+	}
+	f.lastChurn = ch
 	assignments := make([]int, len(stream))
 	prev := stream[0].SubmitTime
 	for i, j := range stream {
@@ -444,11 +527,13 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 			return nil, fmt.Errorf("fleet: stream job %d out of submit order", i)
 		}
 		prev = j.SubmitTime
-		if sam != nil {
+		if sam != nil || ch != nil {
 			// Guard inline: most arrivals fall between hooks, and the
-			// sampling-enabled path should cost them only these compares.
-			if sam.next <= j.SubmitTime || (mig != nil && mig.nextSweep <= j.SubmitTime) {
-				if err := f.hooksUntil(mig, sam, j.SubmitTime); err != nil {
+			// hook-enabled path should cost them only these compares.
+			if (sam != nil && sam.next <= j.SubmitTime) ||
+				(mig != nil && mig.nextSweep <= j.SubmitTime) ||
+				ch.due(j.SubmitTime) {
+				if err := f.hooksUntil(mig, sam, ch, j.SubmitTime); err != nil {
 					return nil, err
 				}
 			}
@@ -468,12 +553,15 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 		} else {
 			k = f.router.Place(j, cands)
 		}
-		if k < 0 || k >= len(f.members) {
+		if k < 0 || k >= len(f.members) || f.members[k].state == stateRetired {
 			// Run has no fleet-level holding queue: a router that
 			// declines a job (capacity, or a transient condition like a
 			// BacklogFilter with every queue full) aborts the run.
 			// Admission control belongs to the caller — the serving
-			// /place endpoint answers 422 and keeps going.
+			// /place endpoint answers 422 and keeps going. A retired
+			// member is unreachable for well-formed routers (its zeroed
+			// View fails the capacity filter); the guard catches custom
+			// routers that ignore candidate state.
 			return nil, fmt.Errorf("fleet: router %s declined job %d (%d procs): no feasible cluster at placement time",
 				f.router.Name(), j.ID, j.RequestedProcs)
 		}
@@ -488,6 +576,7 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 		}
 		m.placements++
 		assignments[i] = k
+		f.observeAssign(k, j)
 		if err := m.pump(); err != nil {
 			return nil, err
 		}
@@ -507,8 +596,8 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 	var drainEnd float64
 	var err error
 	switch {
-	case sam != nil:
-		drainEnd, err = f.drainSampled(mig, sam)
+	case sam != nil || ch != nil:
+		drainEnd, err = f.drainHooked(mig, sam, ch)
 	case mig != nil:
 		drainEnd, err = f.drainMigrating(mig)
 	default:
@@ -537,6 +626,13 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 		results[i] = m.sim.Result()
 		results[i].Utilization = m.sim.UtilizationOver(start, end)
 		procs[i] = m.cfg.Processors
+		if m.gone {
+			// A permanently drained member advertised no capacity this
+			// run; weighting its idle processors into the merge would
+			// deflate fleet utilization below what the serving capacity
+			// actually delivered.
+			procs[i] = 0
+		}
 	}
 	if mig != nil {
 		mig.fillMigrationMetrics(results)
@@ -552,5 +648,8 @@ func (f *Fleet) Run(stream []*job.Job) (*Result, error) {
 		})
 	}
 	res.Fleet = metrics.Merge(results, procs)
+	if ch != nil {
+		res.Churn = ChurnStats{Joins: ch.joins, Drains: ch.drains, Fails: ch.fails, Forced: ch.forced}
+	}
 	return res, nil
 }

@@ -24,7 +24,11 @@ package fleet
 // a no-op. The full-sweep reference path (SetFullSweep) advances every
 // member anyway; a property test pins the two paths byte-identical.
 
-import "sort"
+import (
+	"sort"
+
+	"rlsched/internal/sim"
+)
 
 // eventEntry is one (time, member, stamp) entry of the fleet event heap.
 type eventEntry struct {
@@ -193,10 +197,30 @@ func (f *Fleet) candidatesAt(t float64) []*Candidate {
 	for _, i := range f.dirtyList {
 		m := f.members[i]
 		c := &f.candStore[i]
+		if m.state == stateRetired {
+			// A retired member advertises zero capacity: TotalProcs = 0
+			// fails the capacity filter on every router path (fast pass,
+			// generic loop, unscored baselines, migration's NaN-incumbent
+			// rule), so hard exclusion needs no router changes.
+			c.View = sim.ClusterView{}
+			c.Visible = nil
+			c.Pending = 0
+			c.PendingWork = 0
+			c.RunningWork = 0
+			c.Draining = false
+			c.DrainTime = 0
+			c.Evicting = false
+			f.active[i] = false
+			f.dirtyFlag[i] = false
+			continue
+		}
 		c.View = m.sim.View()
 		c.Visible = m.sim.Visible()
 		c.Pending = m.sim.PendingCount()
 		c.PendingWork = m.sim.PendingWork()
+		c.Draining = m.state == stateDraining
+		c.DrainTime = m.drainAt
+		c.Evicting = m.evicting
 		f.active[i] = c.View.FreeProcs < c.View.TotalProcs
 		if !f.active[i] {
 			c.RunningWork = 0

@@ -310,6 +310,7 @@ func (f *Fleet) tryMove(mig *migrator, src int, j *job.Job, now float64) (bool, 
 	mig.moves++
 	srcM.movedOut++
 	m.movedIn++
+	f.observeAssign(dst, j)
 	if err := m.pump(); err != nil {
 		return true, err
 	}

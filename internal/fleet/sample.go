@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"rlsched/internal/metrics"
@@ -63,6 +64,12 @@ type sampler struct {
 	// sampled fleet benchmark).
 	perMember []memberSeries
 	fleet     fleetSeries
+	// retired[i] stops member i's per-cluster series: set at construction
+	// for members that start the run retired (Fleet.Drain) and by retire()
+	// when churn removes a member mid-run. The member still contributes to
+	// the fleet-wide sums while its running jobs finish — physical truth —
+	// but its trajectory ends at the retirement instant.
+	retired []bool
 }
 
 // memberSeries holds one member's per-cluster trajectory handles.
@@ -104,7 +111,13 @@ func (f *Fleet) newSampler(firstArrival float64) *sampler {
 	s.cfg.Set.Reset()
 	set := s.cfg.Set
 	s.perMember = make([]memberSeries, len(f.members))
+	s.retired = make([]bool, len(f.members))
 	for i, m := range f.members {
+		if m.state == stateRetired {
+			// Permanently drained before the run: no series at all.
+			s.retired[i] = true
+			continue
+		}
 		pre := "cluster." + m.name + "."
 		s.perMember[i] = memberSeries{
 			util:  set.Series(pre + "util"),
@@ -124,6 +137,26 @@ func (f *Fleet) newSampler(firstArrival float64) *sampler {
 	}
 	return s
 }
+
+// addMember grows the sampler's per-member state for a mid-run join
+// (churn.go): fresh series handles, a zero completion cursor.
+func (s *sampler) addMember(name string) {
+	set := s.cfg.Set
+	pre := "cluster." + name + "."
+	s.perMember = append(s.perMember, memberSeries{
+		util:  set.Series(pre + "util"),
+		depth: set.Series(pre + "queue_depth"),
+		pend:  set.Series(pre + "pending_work"),
+		run:   set.Series(pre + "running_work"),
+	})
+	s.cursors = append(s.cursors, 0)
+	s.retired = append(s.retired, false)
+}
+
+// retire stops member i's per-cluster series from the current instant on
+// (its completion cursor keeps absorbing — a drained member's running jobs
+// still finish there and their bounded slowdowns count).
+func (s *sampler) retire(i int) { s.retired[i] = true }
 
 // absorbCompletions folds every completion since the previous sample into
 // the running bsld and per-user aggregates, members in index order.
@@ -183,18 +216,22 @@ func (s *sampler) sample(f *Fleet, ts float64, mig *migrator) {
 	var depthSum int
 	for i, m := range f.members {
 		m.sim.AdvanceClock(ts)
-		sr := &s.perMember[i]
-		util := m.sim.UtilizationOver(s.start, ts)
 		depth := m.sim.PendingCount()
 		pend := m.sim.PendingWork()
 		run := m.sim.RunningWorkAt(ts)
-		sr.util.Add(ts, util)
-		sr.depth.Add(ts, float64(depth))
-		sr.pend.Add(ts, pend)
-		sr.run.Add(ts, run)
 		depthSum += depth
 		pendSum += pend
 		runSum += run
+		if s.retired[i] {
+			// The member's trajectory ended at retirement; its remaining
+			// running work still counts in the fleet sums above.
+			continue
+		}
+		sr := &s.perMember[i]
+		sr.util.Add(ts, m.sim.UtilizationOver(s.start, ts))
+		sr.depth.Add(ts, float64(depth))
+		sr.pend.Add(ts, pend)
+		sr.run.Add(ts, run)
 	}
 	s.fleet.depth.Add(ts, float64(depthSum))
 	s.fleet.pend.Add(ts, pendSum)
@@ -215,15 +252,22 @@ func (s *sampler) sample(f *Fleet, ts float64, mig *migrator) {
 	s.lastMoves = moves
 }
 
-// hooksUntil fires, in global-time order, every migration sweep and
-// sample tick due at or before t. At equal instants the sweep fires
-// first (samples then see post-sweep state), preserving the exact sweep
-// schedule of the sampling-free path.
-func (f *Fleet) hooksUntil(mig *migrator, sam *sampler, t float64) error {
+// hooksUntil fires, in global-time order, every churn action, migration
+// sweep and sample tick due at or before t. At equal instants churn fires
+// first (sweeps and samples then see the post-churn fleet), then the sweep
+// (samples see post-sweep state) — so with churn disabled the sweep
+// schedule of the churn-free path is preserved exactly.
+func (f *Fleet) hooksUntil(mig *migrator, sam *sampler, ch *churner, t float64) error {
 	for {
+		churnDue := ch.due(t)
 		sweepDue := mig != nil && mig.nextSweep <= t
-		sampleDue := sam.next <= t
+		sampleDue := sam != nil && sam.next <= t
 		switch {
+		case churnDue && (!sweepDue || ch.nextT() <= mig.nextSweep) &&
+			(!sampleDue || ch.nextT() <= sam.next):
+			if err := f.churnStep(ch, mig, sam); err != nil {
+				return err
+			}
 		case sweepDue && (!sampleDue || mig.nextSweep <= sam.next):
 			if err := f.advanceMembers(mig.nextSweep); err != nil {
 				return err
@@ -244,16 +288,30 @@ func (f *Fleet) hooksUntil(mig *migrator, sam *sampler, t float64) error {
 	}
 }
 
-// drainSampled runs every member to completion after the last arrival
-// while keeping the fleet time-synchronized, so sample ticks (and
-// migration sweeps, when enabled) continue while backlogs drain. It is
-// drainMigrating generalized over both timed hooks; the returned time is
-// the last internal event processed — the fleet horizon candidate.
-func (f *Fleet) drainSampled(mig *migrator, sam *sampler) (float64, error) {
+// drainHooked runs every member to completion after the last arrival
+// while keeping the fleet time-synchronized, so sample ticks, migration
+// sweeps and churn actions continue while backlogs drain. It is
+// drainMigrating generalized over all timed hooks; the returned time is
+// the last internal event (or churn action) processed — the fleet horizon
+// candidate.
+func (f *Fleet) drainHooked(mig *migrator, sam *sampler, ch *churner) (float64, error) {
 	end := 0.0
 	for {
 		next, any := f.nextFleetEvent()
 		if !any {
+			if ch.due(math.Inf(1)) {
+				// No member events left, but churn actions remain: fire
+				// the next one (a failure's forced re-placements may put
+				// fresh events on the heap) and keep draining.
+				t := ch.nextT()
+				if err := f.hooksUntil(mig, sam, ch, t); err != nil {
+					return 0, err
+				}
+				if t > end {
+					end = t
+				}
+				continue
+			}
 			for _, m := range f.members {
 				if err := m.pump(); err != nil {
 					return 0, err
@@ -265,11 +323,12 @@ func (f *Fleet) drainSampled(mig *migrator, sam *sampler) (float64, error) {
 			}
 			return end, nil
 		}
-		if err := f.hooksUntil(mig, sam, next); err != nil {
+		if err := f.hooksUntil(mig, sam, ch, next); err != nil {
 			return 0, err
 		}
-		// A sweep may have retired the event (the job moved); re-peek
-		// rather than advancing to a stale instant beyond a fresh event.
+		// A sweep (or churn action) may have retired the event (the job
+		// moved); re-peek rather than advancing to a stale instant beyond
+		// a fresh event.
 		next, any = f.nextFleetEvent()
 		if !any {
 			continue

@@ -21,10 +21,28 @@ import (
 //
 // Header comments of the form "; MaxProcs: N" carry cluster metadata.
 
-// SWFHeader carries the archive metadata we use.
+// SWFHeader carries the archive metadata we use. Every directive stays in
+// Comments verbatim as well, so writing a parsed header back (WriteSWF)
+// loses nothing and re-parsing re-extracts identical values.
 type SWFHeader struct {
 	// MaxProcs is the number of processors in the traced cluster.
 	MaxProcs int
+	// MaxNodes is the node count of the traced system ("; MaxNodes: N").
+	// Archives for clusters of multi-processor nodes often declare only
+	// this; trace.LoadSWF falls back to it when MaxProcs is absent.
+	MaxNodes int
+	// MaxJobs and MaxRecords are the archive's declared job and record
+	// counts ("; MaxJobs: N", "; MaxRecords: N") — useful as sanity bounds
+	// when summarizing a trace without parsing it fully.
+	MaxJobs    int
+	MaxRecords int
+	// UnixStartTime is the epoch the trace's relative submit times are
+	// measured from ("; UnixStartTime: N"; 0 when absent).
+	UnixStartTime int64
+	// Computer and Version are the archive's free-text system name and SWF
+	// version directives ("; Computer: ...", "; Version: ...").
+	Computer string
+	Version  string
 	// Comments preserves all header lines verbatim (without the ';').
 	Comments []string
 }
@@ -48,8 +66,32 @@ func ParseSWF(r io.Reader) (SWFHeader, []*Job, error) {
 		if strings.HasPrefix(line, ";") {
 			c := strings.TrimSpace(strings.TrimPrefix(line, ";"))
 			hdr.Comments = append(hdr.Comments, c)
-			if v, ok := headerInt(c, "MaxProcs:"); ok {
-				hdr.MaxProcs = v
+			switch {
+			case strings.HasPrefix(c, "MaxProcs:"):
+				if v, ok := headerInt(c, "MaxProcs:"); ok {
+					hdr.MaxProcs = v
+				}
+			case strings.HasPrefix(c, "MaxNodes:"):
+				if v, ok := headerInt(c, "MaxNodes:"); ok {
+					hdr.MaxNodes = v
+				}
+			case strings.HasPrefix(c, "MaxJobs:"):
+				if v, ok := headerInt(c, "MaxJobs:"); ok {
+					hdr.MaxJobs = v
+				}
+			case strings.HasPrefix(c, "MaxRecords:"):
+				if v, ok := headerInt(c, "MaxRecords:"); ok {
+					hdr.MaxRecords = v
+				}
+			case strings.HasPrefix(c, "UnixStartTime:"):
+				if v, err := strconv.ParseInt(
+					strings.TrimSpace(strings.TrimPrefix(c, "UnixStartTime:")), 10, 64); err == nil {
+					hdr.UnixStartTime = v
+				}
+			case strings.HasPrefix(c, "Computer:"):
+				hdr.Computer = strings.TrimSpace(strings.TrimPrefix(c, "Computer:"))
+			case strings.HasPrefix(c, "Version:"):
+				hdr.Version = strings.TrimSpace(strings.TrimPrefix(c, "Version:"))
 			}
 			continue
 		}

@@ -25,6 +25,11 @@ func FuzzParseSWF(f *testing.F) {
 		"1 0 0 60 4 -1 -1 0 0 -1 1 0 0 0 1 1 -1 -1\n",   // request fallbacks
 		"1 -5 0 60 1 -1 -1 1 60 -1 1 0 0 0 1 1 -1 -1\n", // negative submit: skipped
 		"1 0 0 1e3 1 -1 -1 1 2.5e2 -1 1 0 0 0 1 1 -1 -1\n",
+		// Real Parallel Workloads Archive headers: the full directive set
+		// (SDSC-SP2 style), a MaxNodes-only system, and malformed values.
+		"; Version: 2.2\n; Computer: IBM SP2\n; MaxJobs: 73496\n; MaxNodes: 128\n; MaxProcs: 128\n; UnixStartTime: 893683200\n1 0 10 3600 4 -1 -1 4 7200 -1 1 3 1 2 1 1 -1 -1\n",
+		"; MaxNodes: 64\n1 0 -1 60 1 -1 -1 1 60 -1 1 0 0 0 1 1 -1 -1\n",
+		"; MaxProcs: not-a-number\n; UnixStartTime: -9999999999\n; Computer:\n1 0 -1 60 1 -1 -1 1 60 -1 1 0 0 0 1 1 -1 -1\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

@@ -57,6 +57,56 @@ func TestParseSWFFallbacks(t *testing.T) {
 	}
 }
 
+func TestParseSWFHeaderDirectives(t *testing.T) {
+	const data = `; Version: 2.2
+; Computer: IBM SP2
+; MaxJobs: 73496
+; MaxRecords: 73496
+; MaxNodes: 128
+; MaxProcs: 128
+; UnixStartTime: 893683200
+1 0 5 100 4 -1 -1 4 120 -1 1 3 1 7 1 0 -1 -1
+`
+	hdr, jobs, err := ParseSWF(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("ParseSWF: %v", err)
+	}
+	if hdr.Version != "2.2" || hdr.Computer != "IBM SP2" || hdr.MaxJobs != 73496 ||
+		hdr.MaxRecords != 73496 || hdr.MaxNodes != 128 || hdr.MaxProcs != 128 ||
+		hdr.UnixStartTime != 893683200 {
+		t.Fatalf("directives extracted wrong: %+v", hdr)
+	}
+	if len(hdr.Comments) != 7 {
+		t.Fatalf("comments = %d, want all 7 directives kept verbatim", len(hdr.Comments))
+	}
+	// Directives survive a write/parse round trip: they ride Comments, so
+	// WriteSWF (which only rewrites MaxProcs) loses none of them.
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, hdr, jobs); err != nil {
+		t.Fatalf("WriteSWF: %v", err)
+	}
+	hdr2, _, err := ParseSWF(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if hdr2.Version != hdr.Version || hdr2.Computer != hdr.Computer ||
+		hdr2.MaxJobs != hdr.MaxJobs || hdr2.MaxRecords != hdr.MaxRecords ||
+		hdr2.MaxNodes != hdr.MaxNodes || hdr2.MaxProcs != hdr.MaxProcs ||
+		hdr2.UnixStartTime != hdr.UnixStartTime {
+		t.Fatalf("directives drifted across round trip:\n got %+v\nwant %+v", hdr2, hdr)
+	}
+
+	// Malformed directive values are ignored, not fatal.
+	bad := "; MaxNodes: many\n; UnixStartTime: later\n; MaxJobs: -3e2\n"
+	hdr3, _, err := ParseSWF(strings.NewReader(bad))
+	if err != nil {
+		t.Fatalf("ParseSWF on malformed directives: %v", err)
+	}
+	if hdr3.MaxNodes != 0 || hdr3.UnixStartTime != 0 || hdr3.MaxJobs != 0 {
+		t.Fatalf("malformed directives produced values: %+v", hdr3)
+	}
+}
+
 func TestParseSWFErrors(t *testing.T) {
 	if _, _, err := ParseSWF(strings.NewReader("1 2 3\n")); err == nil {
 		t.Error("short record must error")

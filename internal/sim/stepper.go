@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"container/heap"
 	"fmt"
+	"sort"
 
 	"rlsched/internal/job"
 	"rlsched/internal/metrics"
@@ -118,6 +120,63 @@ func (s *Simulator) Withdraw(id int) (*job.Job, error) {
 		return j, nil
 	}
 	return nil, fmt.Errorf("sim: job %d is not pending (never submitted, already started, or withdrawn)", id)
+}
+
+// PendingJobs returns the full arrived-but-unstarted queue in FCFS order
+// (keyed by SubmitTime, then ID) — unlike Visible it is not capped by
+// MaxObserve. The fleet's churn controller uses it to withdraw a draining
+// or failed member's entire backlog, not just the scheduler-visible
+// window. The returned slice aliases the simulator's queue: read it (or
+// copy it) before calling anything that mutates the queue.
+func (s *Simulator) PendingJobs() []*job.Job { return s.pending }
+
+// EvictRunning forcibly terminates every running job at the current clock
+// — the member-failure primitive of fleet churn. Each job's processors are
+// released, its user's quota share is returned, it is removed from the
+// sequence history (it did not complete here; the fleet resubmits it to a
+// surviving member, where it re-enters that member's history with its
+// original submit time), and its start state is reset so it can run again
+// from scratch. The cluster's busy-time integral keeps the cycles burned
+// before the eviction — the capacity genuinely was consumed. Evicted jobs
+// are returned in (SubmitTime, ID) order so re-placement is deterministic;
+// each one is recorded as a withdraw event when a recorder is attached.
+func (s *Simulator) EvictRunning() []*job.Job {
+	if len(s.running) == 0 {
+		return nil
+	}
+	evicted := make([]*job.Job, 0, len(s.running))
+	gone := make(map[*job.Job]bool, len(s.running))
+	for len(s.running) > 0 {
+		j := heap.Pop(&s.running).(*job.Job)
+		if err := s.cluster.Release(j.ID); err != nil {
+			panic(fmt.Sprintf("sim: evict release: %v", err))
+		}
+		if j.UserID >= 0 {
+			s.userProcs[j.UserID] -= j.RequestedProcs
+		}
+		evicted = append(evicted, j)
+		gone[j] = true
+	}
+	keep := s.seq[:0]
+	for _, j := range s.seq {
+		if !gone[j] {
+			keep = append(keep, j)
+		}
+	}
+	s.seq = keep
+	s.arrivalIdx = len(s.seq)
+	sort.Slice(evicted, func(i, k int) bool {
+		a, b := evicted[i], evicted[k]
+		return a.SubmitTime < b.SubmitTime ||
+			(a.SubmitTime == b.SubmitTime && a.ID < b.ID)
+	})
+	for _, j := range evicted {
+		j.Reset()
+		if s.rec != nil {
+			s.recordJob(obs.JobWithdraw, j)
+		}
+	}
+	return evicted
 }
 
 // AdvanceClock moves the clock forward to t, completing jobs and admitting

@@ -229,14 +229,18 @@ func (t *Trace) UserIDs() []int {
 	return ids
 }
 
-// LoadSWF reads a trace from an SWF stream. If the header lacks MaxProcs the
-// largest job request is used as the cluster size.
+// LoadSWF reads a trace from an SWF stream. If the header lacks MaxProcs,
+// MaxNodes stands in (single-processor-per-node archives declare only it);
+// failing both, the largest job request is used as the cluster size.
 func LoadSWF(name string, r io.Reader) (*Trace, error) {
 	hdr, jobs, err := job.ParseSWF(r)
 	if err != nil {
 		return nil, err
 	}
 	t := &Trace{Name: name, Processors: hdr.MaxProcs, Jobs: jobs}
+	if t.Processors <= 0 {
+		t.Processors = hdr.MaxNodes
+	}
 	if t.Processors <= 0 {
 		for _, j := range jobs {
 			if j.RequestedProcs > t.Processors {

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// The trace zoo (DESIGN.md §12): one registry over every workload this
+// repository can generate — the six Table II archive models plus seeded
+// chaos generators that push arrival burstiness, runtime tails and user
+// skew past anything the archives contain. Experiments and both CLIs
+// resolve zoo names through ZooTrace, and ZooStats summarizes the whole
+// zoo in Table II form, so a scheduling claim can be checked against the
+// full spectrum in one sweep. ChaosSWF rounds the zoo out on the parser
+// side: a seeded hostile SWF byte stream (real archive header directives,
+// malformed records, junk lines) that feeds the fuzz targets hardening the
+// loaders.
+
+// ZooEntry describes one zoo workload.
+type ZooEntry struct {
+	// Name is the ZooTrace key; Kind groups entries ("archive" for the
+	// Table II models, "chaos" for the adversarial generators).
+	Name, Kind string
+	// Desc is a one-line characterization.
+	Desc string
+}
+
+// ZooEntries lists every zoo workload: the Table II archive models first,
+// then the chaos generators.
+var ZooEntries = []ZooEntry{
+	{"SDSC-SP2", "archive", "128p, long jobs, wide size mix"},
+	{"HPC2N", "archive", "240p, long jobs, one dominant user"},
+	{"PIK-IPLEX", "archive", "2560p, extreme bursts, heavy runtime tail"},
+	{"ANL-Intrepid", "archive", "163840p, huge jobs, smooth arrivals"},
+	{"Lublin-1", "archive", "256p Lublin-Feitelson, longer jobs"},
+	{"Lublin-2", "archive", "256p Lublin-Feitelson, faster+wider jobs"},
+	{"chaos-bursts", "chaos", "near-simultaneous arrival storms"},
+	{"chaos-heavytail", "chaos", "extreme runtime tail, one user dominates"},
+	{"chaos-flood", "chaos", "serial-job flood at tiny interarrival"},
+}
+
+// ZooNames returns the zoo workload names, in ZooEntries order.
+func ZooNames() []string {
+	out := make([]string, len(ZooEntries))
+	for i, e := range ZooEntries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// ZooTrace generates the named zoo workload with n jobs from the seed:
+// the archive models via Preset, the chaos entries via their dedicated
+// generators. Unknown names return nil (mirroring Preset).
+func ZooTrace(name string, n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "chaos-bursts":
+		return ChaosBursts(n, rng)
+	case "chaos-heavytail":
+		return ChaosHeavyTail(n, rng)
+	case "chaos-flood":
+		return ChaosFlood(n, rng)
+	}
+	return Preset(name, n, seed)
+}
+
+// ZooStats generates every zoo workload at n jobs from the seed and
+// returns their Table II summaries, in ZooEntries order.
+func ZooStats(n int, seed int64) []Stats {
+	out := make([]Stats, 0, len(ZooEntries))
+	for _, e := range ZooEntries {
+		out = append(out, ZooTrace(e.Name, n, seed).ComputeStats())
+	}
+	return out
+}
+
+// WriteZooSummary prints one Table II-style row per zoo workload, each
+// generated at n jobs from the seed — the shared backend of the -zoo flag
+// on both CLIs.
+func WriteZooSummary(w io.Writer, n int, seed int64) {
+	stats := ZooStats(n, seed)
+	fmt.Fprintf(w, "== Trace zoo (%d workloads, %d jobs each, seed %d) ==\n",
+		len(ZooEntries), n, seed)
+	fmt.Fprintf(w, "%-16s %-8s %7s %8s %9s %7s %6s  %s\n",
+		"Name", "Kind", "procs", "mean-ia", "mean-run", "procs/j", "users", "description")
+	for i, e := range ZooEntries {
+		s := stats[i]
+		fmt.Fprintf(w, "%-16s %-8s %7d %8.0f %9.0f %7.1f %6d  %s\n",
+			e.Name, e.Kind, s.Processors, s.MeanInterarrival, s.MeanRunTime,
+			s.MeanProcs, s.Users, e.Desc)
+	}
+}
+
+// ChaosBursts generates arrival storms: most of the trace arrives in
+// near-simultaneous clumps separated by long dead air. The mean
+// inter-arrival matches SDSC-SP2's, so the same horizon carries an order
+// of magnitude more instantaneous pressure — the regime that separates
+// backfilling policies from queue-reordering ones.
+func ChaosBursts(n int, rng *rand.Rand) *Trace {
+	return GenerateSynth(SynthConfig{
+		Name:             "chaos-bursts",
+		Processors:       256,
+		Jobs:             n,
+		MeanInterarrival: 1000,
+		Burstiness:       12,
+		BurstLen:         80,
+		MeanRuntime:      3000,
+		RuntimeSigma:     1.5,
+		MeanProcs:        12,
+		SerialProb:       0.3,
+		EstimateFactor:   2,
+		Users:            32,
+		UserSkew:         1.1,
+		WideProb:         0.01,
+		WideRuntimeMult:  4,
+	}, rng)
+}
+
+// ChaosHeavyTail generates the heavy-tail stress case: a lognormal runtime
+// spread far past PIK-IPLEX's, frequent near-full-machine monsters, and
+// one user owning most of the stream — the workload that maximizes both
+// bounded-slowdown variance and fairness pressure at once.
+func ChaosHeavyTail(n int, rng *rand.Rand) *Trace {
+	return GenerateSynth(SynthConfig{
+		Name:               "chaos-heavytail",
+		Processors:         512,
+		Jobs:               n,
+		MeanInterarrival:   400,
+		Burstiness:         4,
+		BurstLen:           30,
+		MeanRuntime:        8000,
+		RuntimeSigma:       3.2,
+		MeanProcs:          16,
+		SerialProb:         0.3,
+		EstimateFactor:     3,
+		Users:              20,
+		UserSkew:           1.6,
+		DominantUserWeight: 0.6,
+		WideProb:           0.02,
+		WideRuntimeMult:    10,
+	}, rng)
+}
+
+// ChaosFlood generates a serial-job flood: tiny jobs at an inter-arrival
+// far under their runtimes, so the backlog only ever grows until the tail
+// of the stream. Schedulers that pay per-queue-scan costs (and placement
+// layers that pay per-candidate costs) are hit where it hurts.
+func ChaosFlood(n int, rng *rand.Rand) *Trace {
+	return GenerateSynth(SynthConfig{
+		Name:             "chaos-flood",
+		Processors:       128,
+		Jobs:             n,
+		MeanInterarrival: 20,
+		Burstiness:       2,
+		BurstLen:         50,
+		MeanRuntime:      600,
+		RuntimeSigma:     1.0,
+		MeanProcs:        2,
+		SerialProb:       0.7,
+		EstimateFactor:   1.5,
+		Users:            48,
+		UserSkew:         1.0,
+	}, rng)
+}
+
+// ChaosSWF generates a seeded hostile SWF byte stream of about n lines:
+// genuine Parallel Workloads Archive header directives (Version, Computer,
+// MaxJobs, MaxNodes, MaxProcs, UnixStartTime), valid records, records with
+// the malformed and negative fields real archives contain (which the
+// parser must skip, not crash on), stray comments mid-stream, and odd but
+// legal whitespace. Every output for a given (seed, n) is identical — the
+// generator exists to seed the SWF fuzz targets and to regression-test the
+// loaders' bail-clean behavior on adversarial input.
+func ChaosSWF(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("; Version: 2.2\n")
+	b.WriteString("; Computer: IBM SP2\n")
+	fmt.Fprintf(&b, "; MaxJobs: %d\n", n)
+	b.WriteString("; MaxNodes: 128\n")
+	b.WriteString("; MaxProcs: 128\n")
+	b.WriteString("; UnixStartTime: 893683200\n")
+	t := 0
+	for i := 1; i <= n; i++ {
+		t += 1 + rng.Intn(1999) // strictly increasing: a fractional submit (case 3) must not overtake its successor
+		switch rng.Intn(8) {
+		case 0: // unusable: zero processors and runtime (skipped, not fatal)
+			fmt.Fprintf(&b, "%d %d 0 0 0 -1 -1 0 0 -1 1 0 0 0 1 1 -1 -1\n", i, t)
+		case 1: // negative submit time (skipped by validation)
+			fmt.Fprintf(&b, "%d -%d 0 60 1 -1 -1 1 60 -1 1 0 0 0 1 1 -1 -1\n", i, 1+rng.Intn(100))
+		case 2: // stray comment mid-stream
+			fmt.Fprintf(&b, "; note %d\n", rng.Intn(1000))
+			fmt.Fprintf(&b, "%d %d -1 %d 1 -1 -1 1 %d -1 1 %d 0 0 1 1 -1 -1\n",
+				i, t, 30+rng.Intn(3600), 60+rng.Intn(7200), rng.Intn(40))
+		case 3: // fractional fields (legal floats; may round away on write)
+			fmt.Fprintf(&b, "%d %d.5 0.25 %d.4 2 -1 -1 2 %d.9 -1 1 %d 0 0 1 1 -1 -1\n",
+				i, t, rng.Intn(600), 60+rng.Intn(600), rng.Intn(40))
+		case 4: // request fallbacks: used procs/time stand in for requests
+			fmt.Fprintf(&b, "%d %d 0 %d %d -1 -1 0 0 -1 1 %d 0 0 1 1 -1 -1\n",
+				i, t, 60+rng.Intn(3600), 1+rng.Intn(8), rng.Intn(40))
+		case 5: // tab-and-space soup (legal whitespace)
+			fmt.Fprintf(&b, "%d\t%d  -1\t%d 4 -1 -1 4\t%d -1 1 %d 0 0 1 1 -1 -1\n",
+				i, t, 60+rng.Intn(3600), 120+rng.Intn(7200), rng.Intn(40))
+		default: // plain valid record
+			procs := 1 << rng.Intn(6)
+			rt := 60 + rng.Intn(7200)
+			fmt.Fprintf(&b, "%d %d -1 %d %d -1 -1 %d %d -1 1 %d %d 0 1 1 -1 -1\n",
+				i, t, rt, procs, procs, rt*2, rng.Intn(40), rng.Intn(8))
+		}
+	}
+	return []byte(b.String())
+}

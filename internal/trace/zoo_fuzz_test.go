@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzZooSWF hardens the trace-level SWF loader (LoadSWF → ParseSWF →
+// Validate) against arbitrary input: it must never panic, every accepted
+// trace must validate and summarize, and one write/load cycle must reach a
+// fixed point — re-writing what a load produced and loading it again loses
+// nothing. (The FIRST write may round fractional fields to unusable values
+// — %.0f turns a 0.4-second runtime into 0 — so the fixed point is
+// asserted from the first re-load onward.) Seeds cover genuine archive
+// header directives and the ChaosSWF hostile stream; the corpus under
+// testdata/fuzz is checked in, and CI runs this target as a short smoke.
+func FuzzZooSWF(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("; Version: 2.2\n; Computer: IBM SP2\n; MaxJobs: 73496\n; MaxNodes: 128\n; MaxProcs: 128\n; UnixStartTime: 893683200\n1 0 10 3600 4 -1 -1 4 7200 -1 1 3 1 2 1 1 -1 -1\n"),
+		[]byte("; MaxNodes: 64\n1 0 -1 60 1 -1 -1 1 60 -1 1 0 0 0 1 1 -1 -1\n"),
+		[]byte("; MaxProcs: not-a-number\n; UnixStartTime: -9e9\n1 0 -1 60 1 -1 -1 1 60 -1 1 0 0 0 1 1 -1 -1\n"),
+		[]byte("1 0 -1 60 200 -1 -1 200 60 -1 1 0 0 0 1 1 -1 -1\n"), // job wider than any header
+		ChaosSWF(1, 40),
+		ChaosSWF(2, 40),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := LoadSWF("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted trace fails validation: %v", verr)
+		}
+		st := tr.ComputeStats()
+		if st.Jobs != tr.Len() {
+			t.Fatalf("stats job count %d != trace %d", st.Jobs, tr.Len())
+		}
+		var buf bytes.Buffer
+		if werr := tr.WriteSWF(&buf); werr != nil {
+			t.Fatalf("write of loaded trace failed: %v", werr)
+		}
+		again, err := LoadSWF("fuzz-again", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-load of written output failed: %v\noutput:\n%s", err, buf.Bytes())
+		}
+		if again.Processors != tr.Processors {
+			t.Fatalf("processors drifted across write/load: %d became %d",
+				tr.Processors, again.Processors)
+		}
+		var buf2 bytes.Buffer
+		if werr := again.WriteSWF(&buf2); werr != nil {
+			t.Fatalf("second write failed: %v", werr)
+		}
+		final, err := LoadSWF("fuzz-final", bytes.NewReader(buf2.Bytes()))
+		if err != nil {
+			t.Fatalf("second re-load failed: %v", err)
+		}
+		if final.Len() != again.Len() {
+			t.Fatalf("write/load not a fixed point: %d jobs became %d", again.Len(), final.Len())
+		}
+		for i := range final.Jobs {
+			if final.Jobs[i].ID != again.Jobs[i].ID ||
+				final.Jobs[i].RequestedProcs != again.Jobs[i].RequestedProcs ||
+				final.Jobs[i].UserID != again.Jobs[i].UserID {
+				t.Fatalf("job %d drifted across the fixed point: %+v vs %+v",
+					i, again.Jobs[i], final.Jobs[i])
+			}
+		}
+	})
+}

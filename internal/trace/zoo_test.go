@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Every zoo entry must generate a usable, validating trace of the
+// requested length, and unknown names must return nil like Preset does.
+func TestZooTraceAllEntries(t *testing.T) {
+	for _, e := range ZooEntries {
+		tr := ZooTrace(e.Name, 200, 7)
+		if tr == nil {
+			t.Fatalf("ZooTrace(%q) returned nil", e.Name)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ZooTrace(%q) invalid: %v", e.Name, err)
+		}
+		if tr.Len() != 200 {
+			t.Fatalf("ZooTrace(%q): %d jobs, want 200", e.Name, tr.Len())
+		}
+		if tr.Name != e.Name {
+			t.Fatalf("ZooTrace(%q) named itself %q", e.Name, tr.Name)
+		}
+	}
+	if tr := ZooTrace("no-such-trace", 100, 1); tr != nil {
+		t.Fatalf("unknown zoo name returned a trace: %+v", tr)
+	}
+	if got, want := len(ZooNames()), len(ZooEntries); got != want {
+		t.Fatalf("ZooNames: %d names, want %d", got, want)
+	}
+}
+
+// Zoo generation is seed-deterministic: same seed, same jobs; a different
+// seed must actually change the workload.
+func TestZooTraceDeterministic(t *testing.T) {
+	key := func(tr *Trace) string {
+		var sb strings.Builder
+		for _, j := range tr.Jobs {
+			fmt.Fprintf(&sb, "%g/%g/%d/%d;", j.SubmitTime, j.RunTime, j.RequestedProcs, j.UserID)
+		}
+		return sb.String()
+	}
+	a := ZooTrace("chaos-heavytail", 300, 11)
+	b := ZooTrace("chaos-heavytail", 300, 11)
+	c := ZooTrace("chaos-heavytail", 300, 12)
+	if key(a) != key(b) {
+		t.Fatalf("identical seeds generated different traces")
+	}
+	if key(a) == key(c) {
+		t.Fatalf("seed 11 and 12 generated identical traces")
+	}
+}
+
+// ZooStats covers the whole registry in order, and the chaos entries must
+// actually be more extreme than the archive models they stress past: the
+// flood arrives faster than every archive model, the heavy tail's mean
+// runtime spread shows up as a higher mean (lognormal: sigma inflates the
+// mean at fixed median).
+func TestZooStats(t *testing.T) {
+	stats := ZooStats(400, 3)
+	if len(stats) != len(ZooEntries) {
+		t.Fatalf("%d stats, want %d", len(stats), len(ZooEntries))
+	}
+	byName := map[string]Stats{}
+	for i, s := range stats {
+		if s.Name != ZooEntries[i].Name {
+			t.Fatalf("stats[%d] is %q, want %q", i, s.Name, ZooEntries[i].Name)
+		}
+		if s.Jobs != 400 {
+			t.Fatalf("%s: %d jobs, want 400", s.Name, s.Jobs)
+		}
+		byName[s.Name] = s
+	}
+	flood := byName["chaos-flood"]
+	for _, e := range ZooEntries {
+		if e.Kind != "archive" {
+			continue
+		}
+		if flood.MeanInterarrival >= byName[e.Name].MeanInterarrival {
+			t.Fatalf("chaos-flood interarrival %.1f not under %s's %.1f",
+				flood.MeanInterarrival, e.Name, byName[e.Name].MeanInterarrival)
+		}
+	}
+}
+
+// ChaosSWF is byte-deterministic per (seed, n), and the loader must
+// survive it: the malformed records are skipped, the valid ones load into
+// a validating trace under the header's MaxProcs.
+func TestChaosSWFLoads(t *testing.T) {
+	a := ChaosSWF(42, 500)
+	if !bytes.Equal(a, ChaosSWF(42, 500)) {
+		t.Fatalf("ChaosSWF not deterministic for a fixed seed")
+	}
+	if bytes.Equal(a, ChaosSWF(43, 500)) {
+		t.Fatalf("ChaosSWF identical across different seeds")
+	}
+	tr, err := LoadSWF("chaos", bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("LoadSWF on ChaosSWF: %v", err)
+	}
+	if tr.Processors != 128 {
+		t.Fatalf("header MaxProcs not honored: got %d", tr.Processors)
+	}
+	if tr.Len() == 0 {
+		t.Fatalf("no valid records survived")
+	}
+	if tr.Len() >= 500 {
+		t.Fatalf("malformed records were not skipped: %d jobs from 500 lines", tr.Len())
+	}
+}
+
+// A header carrying only MaxNodes (common for one-processor-per-node
+// archives) must still size the cluster.
+func TestLoadSWFMaxNodesFallback(t *testing.T) {
+	const data = "; MaxNodes: 64\n1 0 -1 60 1 -1 -1 1 60 -1 1 0 0 0 1 1 -1 -1\n"
+	tr, err := LoadSWF("nodes-only", strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("LoadSWF: %v", err)
+	}
+	if tr.Processors != 64 {
+		t.Fatalf("Processors = %d, want MaxNodes fallback 64", tr.Processors)
+	}
+}
