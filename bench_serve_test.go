@@ -20,9 +20,10 @@ import (
 // forward pass → response), the path future PRs must not regress. The
 // decisions/s metric is the headline number of the serving subsystem.
 
-func newBenchServer(b *testing.B, policyName string) *httptest.Server {
+func newBenchServer(b *testing.B, policyName string, cacheSize int) *httptest.Server {
 	b.Helper()
 	var cfg serve.Config
+	cfg.DecisionCache = cacheSize
 	if policyName != "" {
 		cfg.PolicyName = policyName
 	} else {
@@ -52,8 +53,8 @@ func newBenchServer(b *testing.B, policyName string) *httptest.Server {
 	return ts
 }
 
-func benchServeDecide(b *testing.B, snapName, policyName string, statesPerReq int) {
-	ts := newBenchServer(b, policyName)
+func benchServeDecide(b *testing.B, snapName, policyName string, statesPerReq, cacheSize int) {
+	ts := newBenchServer(b, policyName, cacheSize)
 	states, err := serve.SyntheticStates("Lublin-1", statesPerReq, sim.DefaultMaxObserve, 42)
 	if err != nil {
 		b.Fatal(err)
@@ -108,14 +109,21 @@ func benchServeDecide(b *testing.B, snapName, policyName string, statesPerReq in
 
 // BenchmarkServeDecide is the single-request latency of one 128-job
 // decision through the kernel policy network.
-func BenchmarkServeDecide(b *testing.B) { benchServeDecide(b, "servedecide", "", 1) }
+func BenchmarkServeDecide(b *testing.B) { benchServeDecide(b, "servedecide", "", 1, 0) }
 
 // BenchmarkServeDecideBatched pipelines 16 queue states per request — the
 // batched-throughput shape the load generator uses.
-func BenchmarkServeDecideBatched(b *testing.B) { benchServeDecide(b, "servedecide_batched", "", 16) }
+func BenchmarkServeDecideBatched(b *testing.B) { benchServeDecide(b, "servedecide_batched", "", 16, 0) }
 
 // BenchmarkServeDecideHeuristic serves SJF instead of the network,
 // isolating the HTTP+parse overhead from the forward pass.
 func BenchmarkServeDecideHeuristic(b *testing.B) {
-	benchServeDecide(b, "servedecide_heuristic", "SJF", 1)
+	benchServeDecide(b, "servedecide_heuristic", "SJF", 1, 0)
 }
+
+// BenchmarkServeDecideCached is BenchmarkServeDecide with the decision
+// cache in front of the network: after the first request warms the entry,
+// every decision is a cache hit — the steady state of a fleet whose
+// clusters re-post unchanged queues between arrivals. The gap to the
+// servedecide baseline is the forward pass the cache saves.
+func BenchmarkServeDecideCached(b *testing.B) { benchServeDecide(b, "servecache", "", 1, 1024) }

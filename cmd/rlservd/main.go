@@ -152,22 +152,34 @@ func main() {
 		"mount the net/http/pprof profiling handlers under /debug/pprof/")
 	decisionLog := flag.Int("decision-log", 0,
 		"fleet mode: /debug/decisions ring size (0 = default 256, negative disables)")
+	checkpointDir := flag.String("checkpoint-dir", "",
+		"durability directory for the fairness tracker (snapshot + WAL, restored on "+
+			"restart; needs -fair-weight)")
+	checkpointInterval := flag.Duration("checkpoint-interval", 30*time.Second,
+		"period between fairness snapshots (0 disables the loop; the WAL still "+
+			"persists every batch)")
+	decisionCache := flag.Int("decision-cache", 0,
+		"entries in the exact-match decision cache in front of the engines "+
+			"(0 disables; invalidated on /reload)")
 	flag.Parse()
 
 	srv, err := serve.NewServer(serve.Config{
-		ModelPath:     *model,
-		PolicyName:    *policy,
-		Workers:       *workers,
-		BatchWindow:   *batchWindow,
-		MaxBatch:      *maxBatch,
-		Shards:        shards,
-		PlaceRouter:   *placeRouter,
-		Migrate:       *migrate,
-		MigrateMargin: *migrateMargin,
-		FairWeight:    *fairWeight,
-		FairWindow:    *fairWindow,
-		Pprof:         *pprofOn,
-		DecisionLog:   *decisionLog,
+		ModelPath:          *model,
+		PolicyName:         *policy,
+		Workers:            *workers,
+		BatchWindow:        *batchWindow,
+		MaxBatch:           *maxBatch,
+		Shards:             shards,
+		PlaceRouter:        *placeRouter,
+		Migrate:            *migrate,
+		MigrateMargin:      *migrateMargin,
+		FairWeight:         *fairWeight,
+		FairWindow:         *fairWindow,
+		Pprof:              *pprofOn,
+		DecisionLog:        *decisionLog,
+		CheckpointDir:      *checkpointDir,
+		CheckpointInterval: *checkpointInterval,
+		DecisionCache:      *decisionCache,
 		SLO: serve.SLOConfig{
 			P99Budget:    *sloP99,
 			Window:       *sloWindow,

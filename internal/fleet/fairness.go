@@ -135,6 +135,10 @@ func (c FairnessConfig) withDefaults() FairnessConfig {
 type userShare struct {
 	sum float64
 	n   float64
+	// raw counts the user's completed jobs undecayed: the decayed n is the
+	// deprivation weight, raw is the factual "how many jobs has this user
+	// finished" answer surfaces like /place's fairness block report.
+	raw int64
 	// byCluster maps member index → (sum, n) of the user's completed
 	// bounded slowdowns there.
 	clSum map[int]float64
@@ -277,6 +281,7 @@ func (f *FairnessScorer) Observe(cluster int, j *job.Job) {
 	f.syncLocked(u)
 	u.sum += b
 	u.n++
+	u.raw++
 	u.clSum[cluster] += b
 	u.clN[cluster]++
 	f.gSum += b
@@ -460,7 +465,11 @@ func (f *FairnessScorer) Report() metrics.FairnessReport {
 // UserState returns the tracked fleet-wide mean bounded slowdown and job
 // count for one user (zeroes when the user has no completed jobs), plus
 // the fleet-wide mean over everyone — the /place response's per-user
-// exposure.
+// exposure. The mean is the decayed share (how the plugin weighs the user
+// NOW); jobs is the raw undecayed completion count — with -fair-window
+// active the decayed weight rounds below the number of jobs the user
+// actually finished, which made this surface under-report before the raw
+// count was tracked separately.
 func (f *FairnessScorer) UserState(uid int) (userMean float64, jobs int, fleetMean float64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -471,13 +480,93 @@ func (f *FairnessScorer) UserState(uid int) (userMean float64, jobs int, fleetMe
 		f.syncLocked(u)
 		if u.n > shareEpsilon {
 			userMean = u.sum / u.n
-			jobs = int(math.Round(u.n))
-			if jobs < 1 {
-				jobs = 1
-			}
 		}
+		jobs = int(u.raw)
 	}
 	return userMean, jobs, fleetMean
+}
+
+// FairnessState is a point-in-time serialization of a FairnessScorer —
+// the payload a serving daemon checkpoints to disk so per-user share
+// history survives restarts. Users and their per-cluster shares are
+// sorted, so the same tracker state always exports the same bytes.
+type FairnessState struct {
+	// Events is the decay clock: fleet-wide completions observed. Every
+	// exported share is synced to it, so Import needs no per-user lag.
+	Events uint64 `json:"events"`
+	// GSum / GN are the fleet-wide (decayed) bounded-slowdown sum and
+	// count over all users.
+	GSum float64 `json:"g_sum"`
+	GN   float64 `json:"g_n"`
+	// Users holds every tracked user's shares, sorted by UserID.
+	Users []UserShareState `json:"users,omitempty"`
+}
+
+// UserShareState is one user's exported share.
+type UserShareState struct {
+	// UserID is the share's user bucket (-1 aggregates unknown users).
+	UserID int `json:"user_id"`
+	// Sum / N are the decayed fleet-wide bounded-slowdown sum and count.
+	Sum float64 `json:"sum"`
+	N   float64 `json:"n"`
+	// Raw is the undecayed completed-job count.
+	Raw int64 `json:"raw"`
+	// Clusters holds the per-member splits, sorted by cluster index.
+	Clusters []ClusterShareState `json:"clusters,omitempty"`
+}
+
+// ClusterShareState is one user's share on one member.
+type ClusterShareState struct {
+	// Cluster is the member index the share accumulated on.
+	Cluster int `json:"cluster"`
+	// Sum / N are the decayed bounded-slowdown sum and count there.
+	Sum float64 `json:"sum"`
+	N   float64 `json:"n"`
+}
+
+// ExportState snapshots the scorer's accumulated shares. Every user is
+// synced to the current decay clock first, so importing the export into a
+// fresh scorer reproduces the tracker exactly (Import then Observe gives
+// the same state as Observe alone would have).
+func (f *FairnessScorer) ExportState() FairnessState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FairnessState{Events: f.events, GSum: f.gSum, GN: f.gN}
+	for uid, u := range f.users {
+		f.syncLocked(u)
+		us := UserShareState{UserID: uid, Sum: u.sum, N: u.n, Raw: u.raw}
+		for cl, sum := range u.clSum {
+			us.Clusters = append(us.Clusters, ClusterShareState{Cluster: cl, Sum: sum, N: u.clN[cl]})
+		}
+		sort.Slice(us.Clusters, func(i, k int) bool { return us.Clusters[i].Cluster < us.Clusters[k].Cluster })
+		st.Users = append(st.Users, us)
+	}
+	sort.Slice(st.Users, func(i, k int) bool { return st.Users[i].UserID < st.Users[k].UserID })
+	return st
+}
+
+// ImportState replaces the scorer's accumulated shares with an exported
+// snapshot (the decay window stays whatever the scorer was built with —
+// the state carries shares, not configuration). Restoring and then
+// replaying a WAL of completion batches reproduces the pre-crash tracker.
+func (f *FairnessScorer) ImportState(st FairnessState) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.events = st.Events
+	f.gSum, f.gN = st.GSum, st.GN
+	f.users = make(map[int]*userShare, len(st.Users))
+	for _, us := range st.Users {
+		u := &userShare{
+			sum: us.Sum, n: us.N, raw: us.Raw, last: st.Events,
+			clSum: make(map[int]float64, len(us.Clusters)),
+			clN:   make(map[int]float64, len(us.Clusters)),
+		}
+		for _, cs := range us.Clusters {
+			u.clSum[cs.Cluster] = cs.Sum
+			u.clN[cs.Cluster] = cs.N
+		}
+		f.users[bucket(us.UserID)] = u
+	}
 }
 
 // FairnessPipeline routes like BinpackPipeline until a user drifts from

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"rlsched/internal/job"
@@ -288,8 +289,12 @@ func TestFairnessDecayWindow(t *testing.T) {
 	if wantFull >= 10 {
 		t.Fatalf("test premise broken: full mean %g not << windowed", wantFull)
 	}
-	if wjobs >= 105 || wjobs < 1 {
-		t.Fatalf("windowed effective jobs = %d, want roughly the window, not the history", wjobs)
+	// The reported job count is the RAW completion count: the decayed
+	// weight shapes the mean, but "how many jobs has this user finished"
+	// must not shrink with the window (it used to round the decayed
+	// weight, under-reporting windowed-mode users).
+	if wjobs != 105 {
+		t.Fatalf("windowed jobs = %d, want the raw completion count 105", wjobs)
 	}
 
 	// Window 1 decays instantly: an old user's share vanishes instead of
@@ -303,13 +308,70 @@ func TestFairnessDecayWindow(t *testing.T) {
 	if len(means) != 1 || means[0].UserID != 7 {
 		t.Fatalf("decayed-away users must vanish from UserMeans, got %+v", means)
 	}
-	if m, j, _ := gone.UserState(3); m != 0 || j != 0 {
-		t.Fatalf("decayed-away user state = %g/%d, want zeros", m, j)
+	// A decayed-away user keeps their factual completion count; only the
+	// decayed mean vanishes.
+	if m, j, _ := gone.UserState(3); m != 0 || j != 1 {
+		t.Fatalf("decayed-away user state = %g/%d, want mean 0 and raw count 1", m, j)
 	}
 
 	// Reset clears the decay clock too.
 	win.Reset()
 	if m, j, fm := win.UserState(7); m != 0 || j != 0 || fm != 0 {
 		t.Fatalf("state after Reset = %g/%d/%g, want zeros", m, j, fm)
+	}
+}
+
+// TestFairnessExportImportRoundTrip: exporting a decaying tracker and
+// importing it into a fresh scorer reproduces the live tracker exactly —
+// and both copies evolve identically afterward, because ExportState syncs
+// every user to the decay clock before serializing. This is the contract
+// the serving daemon's checkpoint/restore path (DESIGN.md §13) rests on.
+func TestFairnessExportImportRoundTrip(t *testing.T) {
+	live := NewFairnessScorer(FairnessConfig{DecayWindow: 8})
+	for i := 0; i < 12; i++ {
+		live.Observe(i%3, doneJob(7, float64(100*i), 60))
+		live.Observe((i+1)%3, doneJob(i%5, 10, 600))
+	}
+
+	st := live.ExportState()
+	if len(st.Users) == 0 || st.Events == 0 {
+		t.Fatalf("export is empty: %+v", st)
+	}
+	for i := 1; i < len(st.Users); i++ {
+		if st.Users[i-1].UserID >= st.Users[i].UserID {
+			t.Fatalf("export users unsorted: %+v", st.Users)
+		}
+	}
+
+	restored := NewFairnessScorer(FairnessConfig{DecayWindow: 8})
+	restored.ImportState(st)
+	if got, want := restored.ExportState(), st; !reflect.DeepEqual(got, want) {
+		t.Fatalf("re-export differs:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := restored.Report(), live.Report(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored report differs: %+v vs %+v", got, want)
+	}
+	um, uj, fm := live.UserState(7)
+	rm, rj, rf := restored.UserState(7)
+	if um != rm || uj != rj || fm != rf {
+		t.Fatalf("UserState(7) differs: live (%g,%d,%g) restored (%g,%d,%g)", um, uj, fm, rm, rj, rf)
+	}
+
+	// Post-import evolution: observing the same completions keeps the
+	// trackers bit-identical — replaying a WAL after restore reproduces
+	// the pre-crash state.
+	for i := 0; i < 6; i++ {
+		live.Observe(i%3, doneJob(3, 50, 120))
+		restored.Observe(i%3, doneJob(3, 50, 120))
+	}
+	if got, want := restored.ExportState(), live.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-import evolution diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Import replaces state wholesale: a second import of the original
+	// snapshot discards everything observed since.
+	restored.ImportState(st)
+	if got := restored.ExportState(); !reflect.DeepEqual(got, st) {
+		t.Fatalf("re-import did not replace state:\n got %+v\nwant %+v", got, st)
 	}
 }

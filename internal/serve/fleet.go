@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"rlsched/internal/fleet"
@@ -105,6 +106,7 @@ func (s *Server) initFleet(cfg Config) error {
 		})
 		names = append(names, sc.Name)
 	}
+	s.drained = make([]atomic.Bool, len(s.shards))
 	s.metrics.RegisterPlaceClusters(names)
 
 	router := cfg.PlaceRouter
@@ -191,6 +193,8 @@ func (*shardEngineScorer) Name() string { return "shard-engine" }
 // Score implements fleet.Scorer.
 func (sc *shardEngineScorer) Score(j *job.Job, cands []*fleet.Candidate, out []float64) {
 	var one [1]Decision
+	var keyBuf []byte
+	cache := sc.s.cache
 	for i, c := range cands {
 		eng := sc.s.shards[c.Index].batcher.Engine()
 		vis := c.Visible
@@ -206,6 +210,21 @@ func (sc *shardEngineScorer) Score(j *job.Job, cands []*fleet.Candidate, out []f
 			View:       c.View,
 			QueueLen:   c.Pending + 1,
 			WantScores: true,
+		}
+		// The same (queue, job) pair is re-scored on every /place a
+		// cluster's queue sits still for, so this inner decision shares
+		// the /v1/decide cache — keyed by the shard whose engine answers.
+		if cache != nil {
+			keyBuf = cache.appendCacheKey(keyBuf[:0], c.Index, st)
+			key := string(keyBuf)
+			if e, ok := cache.get(key); ok {
+				out[i] = fleet.LastLogSoftmax(e.dec.Scores)
+				continue
+			}
+			eng.DecideBatch([]*QueueState{st}, one[:])
+			cache.put(key, cacheEntry{dec: one[0], policy: eng.Name()})
+			out[i] = fleet.LastLogSoftmax(one[0].Scores)
+			continue
 		}
 		eng.DecideBatch([]*QueueState{st}, one[:])
 		out[i] = fleet.LastLogSoftmax(one[0].Scores)
@@ -224,10 +243,17 @@ type placeCluster struct {
 	wireState
 }
 
-// placeRequest is the /place body.
+// placeRequest is the /place body. Client and BatchSeq are the optional
+// dedup identity of the completed-records batch: a client that tags each
+// batch with a monotonically increasing sequence can retry a /place
+// request (timeout, 5xx) without double-counting its completions — a
+// batch whose seq is not above the client's highest absorbed seq is
+// acknowledged but not re-observed.
 type placeRequest struct {
 	Job      wireJob        `json:"job"`
 	Clusters []placeCluster `json:"clusters"`
+	Client   string         `json:"client"`
+	BatchSeq *int64         `json:"batch_seq"`
 }
 
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
@@ -259,14 +285,46 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: place request carries no clusters"))
 		return
 	}
+	if req.BatchSeq != nil {
+		if req.Client == "" {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: batch_seq needs a client id"))
+			return
+		}
+		if *req.BatchSeq < 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: batch_seq must be non-negative, got %d", *req.BatchSeq))
+			return
+		}
+	}
 
 	cands, err := s.placeCandidates(req.Clusters)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	// Cordoned shards are off the placement menu but stay in cands: their
+	// posted states (and completions) are real, only the destination is
+	// closed. With nothing drained, active IS cands — the common path
+	// allocates and branches exactly as before.
+	active := cands
+	for _, c := range cands {
+		if s.drained[c.Index].Load() {
+			active = make([]*fleet.Candidate, 0, len(cands))
+			for _, c := range cands {
+				if !s.drained[c.Index].Load() {
+					active = append(active, c)
+				}
+			}
+			break
+		}
+	}
+	if len(active) == 0 {
+		s.fail(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("serve: every posted cluster is drained"))
+		return
+	}
 	jv := req.Job.toJob()
 	j := &jv
+	deduped := false
 	if s.fairness != nil {
 		// The tracker is persistent state: a batch that is half-folded
 		// when the request errors out would be double-counted when the
@@ -276,7 +334,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		// PlaceScored < 0 condition) — must fire before any Observe.
 		feasible := false
 	next:
-		for _, c := range cands {
+		for _, c := range active {
 			for _, flt := range s.placer.Filters {
 				if !flt.Feasible(j, c) {
 					continue next
@@ -300,15 +358,28 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
-		// Fold them in before scoring, so the placement below already
-		// sees them.
+		// Fold them in before scoring, so the placement below already sees
+		// them. The durability layer owns the fold: WAL append (when
+		// configured) strictly before Observe, and the batch_seq dedup
+		// check strictly before both — a replayed batch changes nothing.
+		var wcs []walCluster
+		var idxs []int
 		for i := range req.Clusters {
 			pc := &req.Clusters[i]
-			for k := range pc.Completed {
-				dj := pc.Completed[k].toJob()
-				s.fairness.Observe(cands[i].Index, &dj)
+			if len(pc.Completed) == 0 {
+				continue
 			}
+			wcs = append(wcs, walCluster{Name: pc.Name, Done: pc.Completed})
+			idxs = append(idxs, cands[i].Index)
 		}
+		applied, err := s.durable.commitBatch(req.Client, req.BatchSeq, wcs, idxs)
+		if err != nil {
+			// The WAL refused the batch; acking it would promise a
+			// durability the disk did not deliver.
+			s.fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		deduped = !applied
 	}
 	// ?explain=1 asks for the per-plugin score table in the response; the
 	// decision ring wants the same trace for /debug/decisions. Either way
@@ -318,8 +389,8 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	if wantExplain || s.ring != nil {
 		ex = new(obs.Explain)
 	}
-	scores := make([]float64, len(cands))
-	pick := s.placer.PlaceExplained(j, cands, scores, ex)
+	scores := make([]float64, len(active))
+	pick := s.placer.PlaceExplained(j, active, scores, ex)
 	if pick < 0 {
 		s.fail(w, http.StatusUnprocessableEntity,
 			fmt.Errorf("serve: job (%d procs) fits no cluster", j.RequestedProcs))
@@ -330,8 +401,8 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 			Time:       time.Since(s.start).Seconds(),
 			Router:     s.placer.Name(),
 			Job:        obs.Ref(j),
-			Winner:     cands[pick].Index,
-			Cluster:    cands[pick].Name,
+			Winner:     active[pick].Index,
+			Cluster:    active[pick].Name,
 			TieBreak:   ex.TieBreak,
 			Candidates: ex.Candidates,
 		})
@@ -339,11 +410,16 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 
 	resp := make([]byte, 0, 256)
 	resp = append(resp, `{"cluster":`...)
-	resp = strconv.AppendQuote(resp, cands[pick].Name)
+	resp = strconv.AppendQuote(resp, active[pick].Name)
 	resp = append(resp, `,"shard":`...)
-	resp = strconv.AppendInt(resp, int64(cands[pick].Index), 10)
+	resp = strconv.AppendInt(resp, int64(active[pick].Index), 10)
 	resp = append(resp, `,"router":`...)
 	resp = strconv.AppendQuote(resp, s.placer.Name())
+	if deduped {
+		// The completion batch was a replay; the placement answer stands
+		// but nothing was (re-)absorbed.
+		resp = append(resp, `,"deduped":true`...)
+	}
 	if s.fairness != nil {
 		// Per-user state exposure: the tracked service of the job's user
 		// against the all-user mean, as the fairness plugin saw it.
@@ -357,7 +433,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		resp = append(resp, '}')
 	}
 	resp = append(resp, `,"scores":`...)
-	resp = appendScoresJSON(resp, cands, scores)
+	resp = appendScoresJSON(resp, active, scores)
 	if wantExplain {
 		// The full pipeline trace: per candidate, each plugin's weight and
 		// normalized score plus filter verdicts — json.Marshal here, off
@@ -374,7 +450,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(resp)
 
-	s.metrics.CountPlacement(cands[pick].Index)
+	s.metrics.CountPlacement(active[pick].Index)
 	s.metrics.PlaceLatency.ObserveDuration(time.Since(start))
 	if s.slo != nil {
 		s.slo.observe("/place", time.Since(start))
@@ -449,6 +525,21 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
+	}
+	// Drained shards cannot be migration destinations, but the job's
+	// current cluster stays in the set — migrating OFF a cordoned member
+	// is the endpoint's whole purpose during a drain.
+	for _, c := range cands {
+		if c.Name != req.From && s.drained[c.Index].Load() {
+			act := make([]*fleet.Candidate, 0, len(cands))
+			for _, c := range cands {
+				if c.Name == req.From || !s.drained[c.Index].Load() {
+					act = append(act, c)
+				}
+			}
+			cands = act
+			break
+		}
 	}
 	from := -1
 	for i, c := range cands {

@@ -35,6 +35,17 @@ type Metrics struct {
 	MigrateChecksTotal atomic.Uint64
 	MigrateLatency     Histogram
 	migrateCounts      []atomic.Uint64
+
+	// Decision-cache instrumentation (cache.go; families emitted only
+	// with -decision-cache set).
+	CacheHits   atomic.Uint64 // decisions answered from the cache
+	CacheMisses atomic.Uint64 // decisions that went to an engine
+
+	// Durability instrumentation (durable.go; families emitted only in
+	// fairness-tracking fleet mode).
+	CheckpointsTotal atomic.Uint64 // snapshots written
+	WALRecordsTotal  atomic.Uint64 // records appended to the WAL
+	PlaceDedupTotal  atomic.Uint64 // /place batches dropped as replays
 }
 
 // RegisterPlaceClusters installs one placement counter and one migration

@@ -200,6 +200,8 @@ func TestMetricsHelpAndType(t *testing.T) {
 		Migrate:       true,
 		MigrateMargin: 0.25,
 		FairWeight:    1,
+		CheckpointDir: t.TempDir(),
+		DecisionCache: 32,
 		// A generous budget keeps the ladder at level 0; enabling the
 		// monitor puts the SLO families on the surface under test.
 		SLO: SLOConfig{P99Budget: time.Second},

@@ -9,7 +9,9 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rlsched/internal/fleet"
@@ -70,6 +72,22 @@ type Config struct {
 	// judges users by their recent service, not its whole uptime. 0 keeps
 	// full-history shares. Requires FairWeight > 0.
 	FairWindow float64
+	// CheckpointDir, when set, makes the fairness tracker durable
+	// (durable.go): periodic atomic snapshots plus a write-ahead log of
+	// /place completion batches in this directory, replayed on restart so
+	// a kill -9 loses nothing past the last acked batch. Requires
+	// FairWeight > 0 — the tracker is the only durable state.
+	CheckpointDir string
+	// CheckpointInterval is the snapshot period (the rlservd flag
+	// defaults to 30s). Zero or negative disables the periodic loop:
+	// the WAL still makes every batch durable, and Close still writes a
+	// final snapshot.
+	CheckpointInterval time.Duration
+	// DecisionCache, when positive, puts an exact-match decision cache of
+	// this many entries (cache.go) in front of the engines on /v1/decide
+	// and the /place engine scorer, invalidated on every /reload. 0
+	// disables it and keeps the serve path byte-identical.
+	DecisionCache int
 	// Pprof mounts the standard net/http/pprof profiling handlers under
 	// /debug/pprof/ (opt-in; profiling endpoints on a daemon's serving
 	// port are a production decision).
@@ -106,6 +124,20 @@ type Server struct {
 	migrateMargin float64
 	fairness      *fleet.FairnessScorer
 
+	// drained mirrors the durable cordon set onto the request path: one
+	// flag per shard, read lock-free by /place, /migrate and /readyz,
+	// written by /drain and by restore. Allocated alongside shards.
+	drained []atomic.Bool
+
+	// durable owns the fairness tracker's checkpoint/WAL lifecycle and
+	// the /place batch_seq dedup table (nil unless FairWeight > 0; the
+	// dedup table works with or without a CheckpointDir).
+	durable *durability
+
+	// cache is the exact-match decision cache (nil unless DecisionCache
+	// is positive — nil keeps the decide path byte-identical).
+	cache *decisionCache
+
 	// Observability: process start (rlserv_uptime_seconds and decision
 	// timestamps count from it) and the /debug/decisions ring of recent
 	// placement decisions (nil when disabled or outside fleet mode).
@@ -137,6 +169,42 @@ func NewServer(cfg Config) (*Server, error) {
 		// Shards built before the failure already run worker pools.
 		s.Close()
 		return nil, err
+	}
+	if cfg.DecisionCache < 0 {
+		s.Close()
+		return nil, fmt.Errorf("serve: decision cache size must be non-negative, got %d", cfg.DecisionCache)
+	}
+	if cfg.DecisionCache > 0 {
+		s.cache = newDecisionCache(cfg.DecisionCache, s.metrics)
+	}
+	if cfg.CheckpointDir != "" && s.fairness == nil {
+		s.Close()
+		return nil, fmt.Errorf("serve: -checkpoint-dir needs the fairness tracker (-fair-weight > 0) — it is the only durable state")
+	}
+	if s.fairness != nil {
+		// The durability layer also owns the batch_seq dedup table, so it
+		// exists whenever the tracker does; without a CheckpointDir it
+		// simply never touches disk.
+		d, err := newDurability(cfg.CheckpointDir, cfg.CheckpointInterval, durableDeps{
+			fairness: s.fairness,
+			clusterIndex: func(name string) int {
+				i, _ := s.shardByName(name)
+				return i
+			},
+			clusterName: func(idx int) string {
+				if idx < 0 || idx >= len(s.shards) {
+					return ""
+				}
+				return s.shards[idx].name
+			},
+			markDrained: func(idx int) { s.drained[idx].Store(true) },
+			metrics:     s.metrics,
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.durable = d
 	}
 	if cfg.Engine == nil && cfg.ModelPath == "" && cfg.PolicyName == "" && len(s.shards) > 0 {
 		// Fleet-only daemon: bare /v1/decide serves the first shard.
@@ -178,6 +246,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/place", s.handlePlace)
 	s.mux.HandleFunc("/migrate", s.handleMigrate)
 	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.HandleFunc("/drain", s.handleDrain)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -207,6 +276,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // idempotent, so the fleet-only aliasing of the base batcher onto shard 0
 // is harmless).
 func (s *Server) Close() {
+	if s.durable != nil {
+		// Final snapshot: a graceful shutdown restores without replay.
+		s.durable.close()
+	}
 	if s.slo != nil {
 		s.slo.close()
 	}
@@ -248,14 +321,14 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST only"))
 		return
 	}
-	batcher := s.batcher
+	batcher, tag := s.batcher, -1
 	if name := r.URL.Query().Get("cluster"); name != "" {
-		_, sh := s.shardByName(name)
+		idx, sh := s.shardByName(name)
 		if sh == nil {
 			s.fail(w, http.StatusNotFound, fmt.Errorf("serve: unknown cluster %q", name))
 			return
 		}
-		batcher = sh.batcher
+		batcher, tag = sh.batcher, idx
 	}
 	start := time.Now()
 	rb := reqBufPool.Get().(*reqBuf)
@@ -309,7 +382,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		policy = s.slo.fallback.Name()
 	default:
 		var err error
-		decs, policy, err = batcher.Decide(r.Context(), states)
+		decs, policy, err = s.decideCached(r.Context(), batcher, tag, states)
 		if err != nil {
 			s.fail(w, http.StatusServiceUnavailable, err)
 			rb = nil
@@ -382,6 +455,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sh.batcher.Swap(eng)
+		if s.cache != nil {
+			s.cache.invalidate()
+		}
 		s.metrics.ReloadsTotal.Add(1)
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"cluster\":%q,\"policy\":%q}\n", sh.name, eng.Name())
@@ -405,6 +481,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.modelPath = spec.Model
 	}
 	s.batcher.Swap(eng)
+	if s.cache != nil {
+		s.cache.invalidate()
+	}
 	s.metrics.ReloadsTotal.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"policy\":%q}\n", eng.Name())
@@ -447,6 +526,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "rlserv_fairness_score{stat=%q} %g\n", "max_user_bsld", rep.Max)
 		fmt.Fprintf(w, "rlserv_fairness_score{stat=%q} %d\n", "users", rep.Users)
 	}
+	if s.cache != nil {
+		promCounter(w, "rlserv_decision_cache_hits_total", "Decisions answered from the decision cache.",
+			s.metrics.CacheHits.Load())
+		promCounter(w, "rlserv_decision_cache_misses_total", "Decisions that went to an engine.",
+			s.metrics.CacheMisses.Load())
+	}
+	if s.durable != nil {
+		promCounter(w, "rlserv_place_dedup_total", "Completion batches dropped as batch_seq replays.",
+			s.metrics.PlaceDedupTotal.Load())
+		promCounter(w, "rlserv_wal_records_total", "Records appended to the write-ahead log.",
+			s.metrics.WALRecordsTotal.Load())
+		promCounter(w, "rlserv_checkpoints_total", "Fairness snapshots written.",
+			s.metrics.CheckpointsTotal.Load())
+	}
+	if len(s.shards) > 0 {
+		promFamily(w, "rlserv_shard_drained", "1 when the shard is cordoned by /drain, else 0.", "gauge")
+		for i, sh := range s.shards {
+			v := 0
+			if s.drained[i].Load() {
+				v = 1
+			}
+			fmt.Fprintf(w, "rlserv_shard_drained{cluster=%q} %d\n", sh.name, v)
+		}
+	}
 }
 
 // handleDecisions serves the /debug/decisions ring: the n most recent
@@ -480,6 +583,70 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(out)
 }
 
+// drainSpec is the /drain request body.
+type drainSpec struct {
+	Cluster string `json:"cluster"`
+}
+
+// handleDrain cordons one fleet shard, the online twin of Fleet.Drain
+// retiring a member: the shard is excluded from /place and /migrate
+// destinations (its /v1/decide keeps answering — jobs already queued
+// there still need an order), its fairness per-cluster shares are retired
+// through the ClusterRetirer contract, and /readyz reports 503 so the
+// control plane sees a fleet running below strength. Draining is durable
+// (WAL + snapshot) and idempotent; there is no online undrain — a
+// restored member re-registers by restarting the daemon without the
+// cordon, matching the fleet simulator's churn model.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST only"))
+		return
+	}
+	if len(s.shards) == 0 {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: not running in fleet mode"))
+		return
+	}
+	var spec drainSpec
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := json.Unmarshal(body, &spec); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: bad drain spec: %w", err))
+		return
+	}
+	idx, sh := s.shardByName(spec.Cluster)
+	if sh == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: unknown cluster %q", spec.Cluster))
+		return
+	}
+	already := s.drained[idx].Load()
+	if !already && s.durable != nil {
+		// Make the cordon durable and retire the shard's fairness state
+		// BEFORE the serving flag flips: once a placement can see the
+		// cordon, a crash must not forget it.
+		if err := s.durable.commitDrain(sh.name, idx); err != nil {
+			s.fail(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	s.drained[idx].Store(true)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"cluster\":%q,\"drained\":true,\"already\":%t}\n", sh.name, already)
+}
+
+// drainedShards lists the currently cordoned shard names.
+func (s *Server) drainedShards() []string {
+	var names []string
+	for i := range s.drained {
+		if s.drained[i].Load() {
+			names = append(names, s.shards[i].name)
+		}
+	}
+	return names
+}
+
 // handleHealthz is the liveness probe: ok until the degradation ladder
 // reaches SLOConfig.HealthzLevel (default: shedding), at which point the
 // daemon asks to be pulled out of rotation.
@@ -501,6 +668,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if level := s.sloLevel(); level > 0 {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintf(w, "degraded level=%d\n", level)
+		return
+	}
+	if names := s.drainedShards(); len(names) > 0 {
+		// A cordoned shard means the fleet serves below strength; report
+		// not-ready so the control plane replaces the member (there is no
+		// online undrain).
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "drained clusters=%s\n", strings.Join(names, ","))
 		return
 	}
 	fmt.Fprintf(w, "ready policy=%s\n", s.batcher.Engine().Name())

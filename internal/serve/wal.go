@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// Write-ahead-log codec (DESIGN.md §13). Every durable event the daemon
+// acknowledges — a /place completion batch, a /drain cordon — is appended
+// to the current WAL segment as one self-delimiting record:
+//
+//	uvarint(len(payload)) ‖ payload ‖ crc32c(payload)
+//
+// The payload is the walRecord JSON. The CRC makes torn writes (a kill -9
+// mid-append) detectable: replay consumes records until the first one
+// whose length, checksum or JSON fails to decode and drops the tail from
+// there — a torn final record is discarded, never applied half-way and
+// never a panic. Records after a corrupt one are unreachable by
+// construction (the stream is length-prefixed), which is exactly the
+// prefix-durability contract: the tracker restores to the last acked
+// record the disk retained in full.
+
+// walMaxRecord caps one record's payload. A /place body is capped at
+// 8 MiB, so no legitimate record can exceed it; a decoded length above
+// the cap is corruption, not data.
+const walMaxRecord = 8 << 20
+
+// walRecord is one durable event.
+type walRecord struct {
+	// Kind discriminates the event: "batch" (a /place completion batch)
+	// or "drain" (a /drain cordon).
+	Kind string `json:"kind"`
+	// Client / Seq carry the batch's dedup identity when the client sent
+	// one (Seq nil otherwise): replay re-applies the same monotonic
+	// per-client dedup the live path enforced, so a batch logged once is
+	// observed exactly once no matter how the client retried around it.
+	Client string `json:"client,omitempty"`
+	Seq    *int64 `json:"seq,omitempty"`
+	// Clusters holds the batch's completed records grouped by reporting
+	// cluster. Cluster NAMES, not shard indexes, so a restart under a
+	// changed -shard topology maps records onto the members that still
+	// exist and drops the rest.
+	Clusters []walCluster `json:"clusters,omitempty"`
+	// Cluster names the cordoned member of a drain event.
+	Cluster string `json:"cluster,omitempty"`
+}
+
+// walCluster is one cluster's slice of a completion batch.
+type walCluster struct {
+	// Name is the reporting cluster.
+	Name string `json:"name"`
+	// Done holds the completed-job records exactly as posted.
+	Done []wireDone `json:"done"`
+}
+
+// walTable is the Castagnoli polynomial table (CRC-32C, the checksum
+// filesystems and storage formats favor for torn-write detection).
+var walTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendWALRecord encodes one record onto buf.
+func appendWALRecord(buf []byte, rec *walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return buf, fmt.Errorf("serve: wal encode: %w", err)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, walTable)), nil
+}
+
+// decodeWALRecords decodes every complete, checksummed record from the
+// head of data. It returns the records plus the number of bytes they
+// span: consumed < len(data) means a torn or corrupt tail was dropped.
+// Arbitrary input never panics (fuzzed by FuzzWALReplay).
+func decodeWALRecords(data []byte) (recs []walRecord, consumed int) {
+	for consumed < len(data) {
+		n, width := binary.Uvarint(data[consumed:])
+		if width <= 0 || n > walMaxRecord {
+			return recs, consumed
+		}
+		start := consumed + width
+		end := start + int(n) + 4
+		if end < start || end > len(data) {
+			return recs, consumed
+		}
+		payload := data[start : start+int(n)]
+		if binary.LittleEndian.Uint32(data[start+int(n):end]) != crc32.Checksum(payload, walTable) {
+			return recs, consumed
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, consumed
+		}
+		recs = append(recs, rec)
+		consumed = end
+	}
+	return recs, consumed
+}
